@@ -1,0 +1,17 @@
+"""Shared helpers for the experiment suite.
+
+Each benchmark runs one experiment (deterministic seeds), prints its
+ExperimentTable (visible with ``pytest benchmarks/ --benchmark-only -s`` or
+in captured output on failure), and asserts the qualitative *shape* the
+paper's design implies.  pytest-benchmark records the wall-clock cost of
+each experiment; virtual-time results are in the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""E1 — Fig. 1: the Legion core object hierarchy.
+
+Paper artifact: the structural diagram of LegionClass / HostClass /
+VaultClass / Hosts / Vaults.  The experiment bootstraps metasystems of
+increasing size, verifies every structural property the figure encodes,
+and reports bootstrap cost.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro import Implementation, Metasystem, MachineSpec
+from repro.bench import ExperimentTable
+from repro.hosts import HostObject
+from repro.vaults import VaultObject
+
+
+def build(n_hosts: int) -> dict:
+    t0 = time.perf_counter()
+    meta = Metasystem(seed=1)
+    meta.add_domain("d")
+    for i in range(n_hosts):
+        meta.add_unix_host(f"h{i}", "d",
+                           MachineSpec(arch="sparc", os_name="SunOS"))
+    meta.add_vault("d")
+    app = meta.create_class("A", [Implementation("sparc", "SunOS")])
+    wall_ms = (time.perf_counter() - t0) * 1e3
+
+    # -- structural checks from Fig. 1 ------------------------------------
+    # every host/vault binding resolves to the right guardian type
+    hosts = [meta.resolve(l) for _p, l in meta.context.walk()
+             if l.type_tag == "host"]
+    vaults = [meta.resolve(l) for _p, l in meta.context.walk()
+              if l.type_tag == "vault"]
+    assert len(hosts) == n_hosts
+    assert all(isinstance(h, HostObject) for h in hosts)
+    assert all(isinstance(v, VaultObject) for v in vaults)
+    # classes manage instances; instance LOIDs nest under the class
+    result = app.create_instance()
+    assert result.ok and result.loid.is_descendant_of(app.loid)
+    # the class is the instance's manager and final authority
+    assert app.get_instance(result.loid).class_loid == app.loid
+    return {"hosts": n_hosts, "bindings": len(meta.context),
+            "bootstrap_ms": wall_ms}
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        "E1 / Fig. 1 — core object hierarchy bootstrap",
+        ["hosts", "context bindings", "bootstrap wall (ms)"])
+    for n in (8, 32, 128):
+        row = build(n)
+        table.add(row["hosts"], row["bindings"], row["bootstrap_ms"])
+    return table
+
+
+def test_e01_core_hierarchy(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    rows = table.as_dicts()
+    # bindings grow linearly with hosts (hosts + vault + class + Collection)
+    assert int(rows[-1]["context bindings"]) > int(
+        rows[0]["context bindings"])

@@ -1,0 +1,78 @@
+"""E2 — Fig. 2: the four resource-management layering schemes.
+
+The same placement workload runs through layerings (a)-(d); we report the
+message count and virtual latency each costs.  Shape claims: (a) direct
+probing costs O(hosts) messages; (b)-(d) replace probing with one
+Collection query; each additional separated layer adds hops (and latency)
+but none changes what gets placed.
+"""
+
+from conftest import run_once
+
+from repro import Implementation, MachineSpec, Metasystem, ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.scheduler import (
+    AppDoesItAll,
+    AppWithRMServices,
+    CombinedSchedulerRM,
+    SeparateLayers,
+)
+
+N_HOSTS = 16
+N_INSTANCES = 4
+
+
+def build():
+    meta = Metasystem(seed=2)
+    meta.add_domain("d")
+    for i in range(N_HOSTS):
+        meta.add_unix_host(f"h{i}", "d",
+                           MachineSpec(arch="sparc", os_name="SunOS"),
+                           slots=8)
+    meta.add_vault("d")
+    meta.place_collection("d")
+    meta.place_enactor("d")
+    app = meta.create_class("App", [Implementation("sparc", "SunOS")],
+                            work_units=10.0)
+    return meta, app
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        f"E2 / Fig. 2 — layering cost, {N_INSTANCES} instances on "
+        f"{N_HOSTS} hosts",
+        ["layering", "ok", "messages", "virtual latency (s)"])
+    results = {}
+    for label, make in [
+        ("(a) app does it all", lambda meta, app: AppDoesItAll(
+            meta.transport, meta.hosts, rng=meta.rngs.stream("e2", "a"))),
+        ("(b) app + RM services", lambda meta, app: AppWithRMServices(
+            meta.transport, meta.collection, meta.enactor,
+            rng=meta.rngs.stream("e2", "b"))),
+        ("(c) combined module", lambda meta, app: CombinedSchedulerRM(
+            meta.transport, meta.make_scheduler("random"),
+            module_location=meta.topology.add_node("d", "combined-svc"))),
+        ("(d) separate layers", lambda meta, app: SeparateLayers(
+            meta.transport, meta.make_scheduler("irs"),
+            scheduler_location=meta.topology.add_node("d", "sched-svc"),
+            enactor_location=meta.enactor.location)),
+    ]:
+        meta, app = build()
+        strategy = make(meta, app)
+        outcome = strategy.place([ObjectClassRequest(app, N_INSTANCES)])
+        table.add(label, outcome.ok, outcome.messages, outcome.elapsed)
+        results[label[:3]] = outcome
+    table._results = results  # for assertions
+    return table
+
+
+def test_e02_layering(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    r = table._results
+    assert all(o.ok for o in r.values())
+    # (a) probes every host: strictly more messages than (b)
+    assert r["(a)"].messages > r["(b)"].messages
+    # every layering placed the same number of objects
+    counts = {len(o.created) for o in r.values()}
+    assert counts == {4}

@@ -1,0 +1,80 @@
+"""E3 — Fig. 3: per-step latency breakdown of the 13-step protocol.
+
+One placement is driven through each protocol phase separately, measuring
+the virtual time each phase consumes:
+
+  step 1      Collection population (host pushes, amortized — reported as
+              the cost of one full daemon sweep);
+  steps 2-3   Scheduler queries class + Collection and computes mapping;
+  steps 4-6   Enactor obtains reservations (parallel co-allocation);
+  steps 7-11  confirmation + instantiation + result codes;
+  steps 12-13 Monitor outcall + migration on overload.
+"""
+
+from conftest import run_once
+
+from repro import ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.workload import implementations_for_all_platforms, multi_domain
+
+
+def run() -> ExperimentTable:
+    meta = multi_domain(n_domains=2, hosts_per_domain=8, seed=3,
+                        dynamics=False)
+    meta.place_collection("dom0")
+    meta.place_enactor("dom0")
+    app = meta.create_class("Proto", implementations_for_all_platforms(),
+                            work_units=5000.0)
+    table = ExperimentTable(
+        "E3 / Fig. 3 — protocol step latency (virtual ms)",
+        ["phase", "steps", "virtual ms"])
+
+    # step 1: one daemon sweep repopulating the Collection
+    daemon = meta.make_daemon(interval=60.0)
+    t0 = meta.now
+    daemon.sweep()
+    table.add("populate Collection", "1", (meta.now - t0) * 1e3)
+
+    # steps 2-3: schedule computation (class + Collection queries)
+    sched = meta.make_scheduler("irs", n_schedules=3)
+    t0 = meta.now
+    request_list = sched.compute_schedule([ObjectClassRequest(app, 4)])
+    compute_ms = (meta.now - t0) * 1e3
+    table.add("compute mapping", "2-3", compute_ms)
+
+    # steps 4-6: reservations
+    t0 = meta.now
+    feedback = meta.enactor.make_reservations(request_list)
+    reserve_ms = (meta.now - t0) * 1e3
+    table.add("obtain reservations", "4-6", reserve_ms)
+    assert feedback.ok
+
+    # steps 7-11: enactment
+    t0 = meta.now
+    result = meta.enactor.enact_schedule(feedback)
+    enact_ms = (meta.now - t0) * 1e3
+    table.add("instantiate + report", "7-11", enact_ms)
+    assert result.ok
+
+    # steps 12-13: overload -> outcall -> migration
+    monitor = meta.make_monitor(min_load_advantage=0.5)
+    monitor.watch_all(meta.hosts)
+    victim_host = meta.resolve(
+        app.get_instance(result.created[0]).host_loid)
+    t0 = meta.now
+    victim_host.machine.set_background_load(40.0)
+    victim_host.reassess()
+    table.add("monitor outcall + migrate", "12-13", (meta.now - t0) * 1e3)
+    table._monitor = monitor
+    table._phases = {"compute": compute_ms, "reserve": reserve_ms,
+                     "enact": enact_ms}
+    return table
+
+
+def test_e03_protocol_steps(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    assert table._monitor.stats.migrations_succeeded >= 1
+    # every phase costs real virtual time once services have locations
+    for name, ms in table._phases.items():
+        assert ms > 0.0, name

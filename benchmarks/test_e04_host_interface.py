@@ -1,0 +1,106 @@
+"""E4 — Table 1: the Host Object resource-management interface.
+
+Micro-costs of each interface group (reservation management, process
+management, information reporting) in wall-clock microseconds, plus the
+reservation-table scaling behaviour (cost of admission checks as the table
+grows).
+"""
+
+import time
+
+from conftest import run_once
+
+from repro import Implementation, MachineSpec, Metasystem
+from repro.bench import ExperimentTable
+from repro.hosts import REUSABLE_TIME
+from repro.objects import LegionObject
+
+
+def timed(fn, n=200):
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - t0) / n * 1e6  # us/op
+
+
+def run() -> ExperimentTable:
+    meta = Metasystem(seed=4)
+    meta.add_domain("d")
+    host = meta.add_unix_host("h0", "d",
+                              MachineSpec(arch="sparc", os_name="SunOS"),
+                              slots=10_000)
+    vault = meta.add_vault("d")
+    app = meta.create_class("A", [Implementation("sparc", "SunOS")])
+
+    table = ExperimentTable(
+        "E4 / Table 1 — Host interface micro-costs (wall us/op)",
+        ["group", "operation", "us/op"])
+
+    # reservation management
+    tokens = []
+
+    def make():
+        tokens.append(host.make_reservation(vault.loid, app.loid,
+                                            rtype=REUSABLE_TIME))
+    table.add("reservation", "make_reservation", timed(make))
+    tok = tokens[0]
+    table.add("reservation", "check_reservation",
+              timed(lambda: host.check_reservation(tok)))
+    cancel_iter = iter(tokens)
+    table.add("reservation", "cancel_reservation",
+              timed(lambda: host.cancel_reservation(next(cancel_iter)),
+                    n=100))
+
+    # process management
+    instances = []
+
+    def start():
+        inst = LegionObject(meta.minter.mint_instance(app.loid), app.loid)
+        inst.attributes.set("memory_mb", 0.001)
+        host.start_object(inst, vault.loid)
+        instances.append(inst)
+    table.add("process", "startObject", timed(start, n=100))
+    kill_iter = iter(list(instances))
+    table.add("process", "killObject",
+              timed(lambda: host.kill_object(next(kill_iter).loid), n=100))
+
+    # information reporting
+    table.add("information", "get_compatible_vaults",
+              timed(host.get_compatible_vaults))
+    table.add("information", "vault_OK",
+              timed(lambda: host.vault_ok(vault.loid)))
+    table.add("information", "reassess (attribute repopulation)",
+              timed(host.reassess, n=50))
+
+    # reservation-table scaling: admission cost vs live reservations
+    scale = ExperimentTable(
+        "E4b — reservation-table admission cost vs table size",
+        ["live reservations", "us/make+cancel"])
+    for target in (10, 100, 1000):
+        big = meta.add_unix_host(f"big{target}", "d",
+                                 MachineSpec(arch="sparc",
+                                             os_name="SunOS"),
+                                 slots=target + 10)
+        big.add_compatible_vault(vault.loid)
+        for _ in range(target):
+            big.make_reservation(vault.loid, app.loid,
+                                 rtype=REUSABLE_TIME)
+
+        def cycle(h=big):
+            t = h.make_reservation(vault.loid, app.loid,
+                                   rtype=REUSABLE_TIME)
+            h.cancel_reservation(t)
+        scale.add(target, timed(cycle, n=50))
+    table._scale = scale
+    return table
+
+
+def test_e04_host_interface(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    table._scale.print()
+    costs = {r["operation"]: float(r["us/op"]) for r in table.as_dicts()}
+    # every operation is cheap (well under a millisecond of wall time)
+    for op, us in costs.items():
+        if op != "reassess (attribute repopulation)":
+            assert us < 2000.0, (op, us)

@@ -1,0 +1,78 @@
+"""E5 — Table 2: behaviour of the four Legion reservation types.
+
+A contention workload — a stream of reservation requests with overlapping
+one-hour windows against a 4-slot host — is run under each (share, reuse)
+combination.  Shape claims straight from the semantics:
+
+* unshared (space-sharing) types admit exactly one overlapping reservation;
+  shared (timesharing) types admit up to the slot count;
+* reusable tokens admit multiple StartObject presentations, one-shot
+  tokens exactly one.
+"""
+
+from conftest import run_once
+
+from repro import Implementation, MachineSpec, Metasystem
+from repro.bench import ExperimentTable
+from repro.errors import InvalidReservationError, ReservationDeniedError
+from repro.hosts import ALL_TYPES
+from repro.objects import LegionObject
+
+N_REQUESTS = 24
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        f"E5 / Table 2 — reservation types under contention "
+        f"({N_REQUESTS} overlapping requests, 4-slot host)",
+        ["type", "share", "reuse", "granted", "denied",
+         "redeems/token"])
+    results = {}
+    for rtype in ALL_TYPES:
+        meta = Metasystem(seed=5)
+        meta.add_domain("d")
+        host = meta.add_unix_host(
+            "h0", "d", MachineSpec(arch="sparc", os_name="SunOS"),
+            slots=4)
+        vault = meta.add_vault("d")
+        app = meta.create_class(f"A-{rtype.name.replace(' ', '-')}",
+                                [Implementation("sparc", "SunOS")])
+        granted = []
+        denied = 0
+        for _ in range(N_REQUESTS):
+            try:
+                granted.append(host.make_reservation(
+                    vault.loid, app.loid, rtype=rtype, duration=3600.0))
+            except ReservationDeniedError:
+                denied += 1
+        # how many StartObject presentations does one token admit?
+        redeems = 0
+        if granted:
+            tok = granted[0]
+            for _ in range(3):
+                try:
+                    host.reservations.redeem(tok, now=meta.now)
+                    redeems += 1
+                except InvalidReservationError:
+                    break
+        table.add(rtype.name, int(rtype.share), int(rtype.reuse),
+                  len(granted), denied, redeems)
+        results[(rtype.share, rtype.reuse)] = (len(granted), redeems)
+    table._results = results
+    return table
+
+
+def test_e05_reservation_types(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    r = table._results
+    # space sharing admits exactly 1 overlapping grant; timesharing: slots
+    assert r[(False, False)][0] == 1
+    assert r[(False, True)][0] == 1
+    assert r[(True, False)][0] == 4
+    assert r[(True, True)][0] == 4
+    # reuse bit governs redeem count
+    assert r[(False, False)][1] == 1
+    assert r[(True, False)][1] == 1
+    assert r[(False, True)][1] == 3
+    assert r[(True, True)][1] == 3

@@ -1,0 +1,106 @@
+"""E6 — Fig. 4: the Collection's information-service behaviour.
+
+Two measurements:
+
+* **query cost vs system size** — wall time for a typical viability query
+  as the number of member hosts grows (the Collection is a linear scan
+  over attribute records, like the 1999 implementation);
+* **staleness vs update model** — mean record age under host-push (the
+  default), Data-Collection-Daemon sweeps, and on-demand pull, with the
+  hosts' periodic reassessment the underlying data source.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.bench import ExperimentTable
+from repro.collection import Collection
+from repro.naming import LOID
+from repro.workload import TestbedSpec, build_testbed
+
+
+def query_cost() -> ExperimentTable:
+    table = ExperimentTable(
+        "E6a — query wall cost vs Collection size",
+        ["hosts", "matching", "us/query"])
+    query = ('($host_arch == "sparc" and $host_os_name == "SunOS") '
+             'and $host_up == true and $host_load < 2')
+    for n in (32, 128, 512):
+        coll = Collection(LOID(("d", "svc", f"c{n}")), require_auth=False)
+        for i in range(n):
+            coll.join(LOID(("d", "host", f"h{i}")), {
+                "host_arch": "sparc" if i % 2 == 0 else "mips",
+                "host_os_name": "SunOS" if i % 2 == 0 else "IRIX",
+                "host_up": True,
+                "host_load": float(i % 4),
+            })
+        matching = len(coll.query(query))
+        t0 = time.perf_counter()
+        reps = 50
+        for _ in range(reps):
+            coll.query(query)
+        us = (time.perf_counter() - t0) / reps * 1e6
+        table.add(n, matching, us)
+    return table
+
+
+def staleness() -> ExperimentTable:
+    table = ExperimentTable(
+        "E6b — mean record staleness (s) by update model, "
+        "30s host reassessment",
+        ["model", "interval (s)", "mean staleness (s)"])
+    results = {}
+
+    # host push (wired by default): staleness tracks reassess interval
+    meta = build_testbed(TestbedSpec(n_domains=1, hosts_per_domain=16,
+                                     background_load_mean=0.5, seed=6,
+                                     reassess_interval=30.0))
+    meta.advance(617.0)
+    push_stale = meta.collection.mean_staleness()
+    table.add("host push", 30.0, push_stale)
+    results["push"] = push_stale
+
+    # daemon sweeps at 140s: records age up to the sweep period
+    meta = build_testbed(TestbedSpec(n_domains=1, hosts_per_domain=16,
+                                     background_load_mean=0.5, seed=6,
+                                     reassess_interval=30.0))
+    for host in meta.hosts:
+        host._push_targets.clear()
+    daemon = meta.make_daemon(interval=140.0)
+    daemon.start()
+    meta.advance(617.0)
+    daemon_stale = meta.collection.mean_staleness()
+    table.add("daemon pull/push", 140.0, daemon_stale)
+    results["daemon"] = daemon_stale
+
+    # direct pull right before reading: fresh by construction
+    meta = build_testbed(TestbedSpec(n_domains=1, hosts_per_domain=16,
+                                     background_load_mean=0.5, seed=6,
+                                     reassess_interval=30.0))
+    meta.advance(617.0)
+    for host in meta.hosts:
+        meta.collection.pull_from(host)
+    pull_stale = meta.collection.mean_staleness()
+    table.add("pull at query time", 0.0, pull_stale)
+    results["pull"] = pull_stale
+    table._results = results
+    return table
+
+
+def run():
+    a = query_cost()
+    b = staleness()
+    return a, b
+
+
+def test_e06_collection(benchmark):
+    a, b = run_once(benchmark, run)
+    a.print()
+    b.print()
+    rows = a.as_dicts()
+    # linear-ish scan: bigger collections cost more to query
+    assert float(rows[-1]["us/query"]) > float(rows[0]["us/query"])
+    r = b._results
+    # freshness ordering: pull < push(30s) < daemon(120s)
+    assert r["pull"] <= r["push"] <= r["daemon"]

@@ -1,0 +1,73 @@
+"""E8 — Fig. 6: Enactor co-allocation across administrative domains.
+
+A schedule spanning k domains (one instance per domain) is reserved with
+the Enactor's parallel negotiation and with a sequential ablation.  Shape
+claims: parallel negotiation's virtual latency grows far slower than
+sequential's as k rises (max vs sum of per-domain round trips), and both
+obtain identical reservations.
+"""
+
+from conftest import run_once
+
+from repro import ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.enactor import Enactor
+from repro.schedule import MasterSchedule, ScheduleMapping, ScheduleRequestList
+from repro.workload import implementations_for_all_platforms, multi_domain
+
+
+def build(k):
+    meta = multi_domain(n_domains=k, hosts_per_domain=3, seed=8,
+                        dynamics=False)
+    meta.place_enactor("dom0")
+    app = meta.create_class("Co", implementations_for_all_platforms(),
+                            work_units=10.0)
+    vault_of = {v.location.domain: v for v in meta.vaults}
+    entries = []
+    for d in range(k):
+        host = next(h for h in meta.hosts if h.domain == f"dom{d}")
+        entries.append(ScheduleMapping(app.loid, host.loid,
+                                       vault_of[f"dom{d}"].loid))
+    return meta, entries
+
+
+def negotiate(meta, entries, sequential):
+    enactor = Enactor(meta.transport, meta.resolve,
+                      location=meta.enactor.location,
+                      sequential_coallocation=sequential)
+    t0 = meta.now
+    feedback = enactor.make_reservations(
+        ScheduleRequestList([MasterSchedule(list(entries))]))
+    elapsed = meta.now - t0
+    assert feedback.ok
+    enactor.cancel_reservations(feedback)
+    return elapsed
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        "E8 / Fig. 6 — co-allocation latency across k domains (virtual s)",
+        ["domains", "sequential", "parallel", "speedup"])
+    pairs = []
+    for k in (1, 2, 4, 6):
+        meta, entries = build(k)
+        seq = negotiate(meta, entries, sequential=True)
+        par = negotiate(meta, entries, sequential=False)
+        table.add(k, seq, par, seq / par if par > 0 else float("inf"))
+        pairs.append((k, seq, par))
+    table._pairs = pairs
+    return table
+
+
+def test_e08_coallocation(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    pairs = table._pairs
+    # for multi-domain negotiations, parallel is strictly faster
+    for k, seq, par in pairs:
+        if k >= 2:
+            assert par < seq, (k, seq, par)
+    # sequential latency grows ~linearly in k; parallel much slower growth
+    _, seq1, par1 = pairs[0]
+    k_last, seq_last, par_last = pairs[-1]
+    assert seq_last / seq1 > par_last / par1

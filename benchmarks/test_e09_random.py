@@ -1,0 +1,74 @@
+"""E9 — Fig. 7: the Random Scheduling Policy characterized.
+
+The paper positions Random as the "90% solution": adequate, simple, and
+easily outperformed.  We measure exactly that: placement success rate and
+resulting makespan versus system size and background load, plus its
+scheduling overhead (Collection queries, virtual latency).
+"""
+
+from conftest import run_once
+
+from repro import ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.workload import (
+    BagOfTasks,
+    TestbedSpec,
+    build_testbed,
+)
+
+N_TASKS = 8
+ROUNDS = 5
+
+
+def run_config(n_hosts, load_mean):
+    successes, makespans, queries, latency = 0, [], 0, 0.0
+    for round_seed in range(ROUNDS):
+        meta = build_testbed(TestbedSpec(
+            n_domains=1, hosts_per_domain=n_hosts, platform_mix=2,
+            background_load_mean=load_mean, seed=90 + round_seed,
+            host_slots=3))
+        app = BagOfTasks(meta, "bag", n_tasks=N_TASKS, work_units=120.0)
+        sched = meta.make_scheduler("random")
+        report = app.run(sched)
+        if report.ok and report.completed == N_TASKS:
+            successes += 1
+            makespans.append(report.makespan)
+        queries += report.collection_queries
+        latency += report.scheduling_time
+    mean_makespan = (sum(makespans) / len(makespans)
+                     if makespans else float("nan"))
+    return {
+        "success": successes / ROUNDS,
+        "makespan": mean_makespan,
+        "queries": queries / ROUNDS,
+        "latency": latency / ROUNDS,
+    }
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        f"E9 / Fig. 7 — Random Scheduler, {N_TASKS} tasks x "
+        f"{ROUNDS} rounds",
+        ["hosts", "bg load", "success rate", "mean makespan (s)",
+         "queries/run", "sched latency (s)"])
+    results = {}
+    for n_hosts in (4, 8, 16):
+        for load in (0.0, 1.5):
+            r = run_config(n_hosts, load)
+            table.add(n_hosts, load, r["success"], r["makespan"],
+                      r["queries"], r["latency"])
+            results[(n_hosts, load)] = r
+    table._results = results
+    return table
+
+
+def test_e09_random(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    r = table._results
+    # more hosts -> shorter makespan at equal load (more parallelism)
+    assert r[(16, 0.0)]["makespan"] < r[(4, 0.0)]["makespan"]
+    # background load lengthens makespan
+    assert r[(8, 1.5)]["makespan"] > r[(8, 0.0)]["makespan"]
+    # random always found a placement on an unloaded system
+    assert r[(16, 0.0)]["success"] == 1.0

@@ -1,0 +1,70 @@
+"""E11 — the section-6 promised benchmark: "measure the improvement in
+performance as we develop more intelligent Schedulers."
+
+The section-4.3 ocean-simulation workload (4x6 stencil grid) runs under
+the whole Scheduler ladder — Random, round-robin, IRS, load-aware, and the
+stencil-aware specialist — on the same three-domain testbed.  Shape
+claims: smarter placement lowers makespan; the application-specific
+Scheduler wins on its own workload class (the paper's entire thesis for
+building the substrate).
+"""
+
+from conftest import run_once
+
+from repro.bench import ExperimentTable
+from repro.scheduler import StencilScheduler
+from repro.workload import StencilApplication, multi_domain
+
+ROWS, COLS = 4, 6
+ITERS = 40
+
+
+def run_one(label, factory):
+    meta = multi_domain(n_domains=3, hosts_per_domain=10, seed=11,
+                        dynamics=False)
+    # uneven background load so load awareness matters
+    for i, host in enumerate(meta.hosts):
+        host.machine.set_background_load(1.0 if i % 3 == 0 else 0.1)
+        host.reassess()
+    app = StencilApplication(meta, f"ocean-{label}", rows=ROWS, cols=COLS,
+                             iterations=ITERS, work_per_iter=2.0,
+                             comm_penalty_per_unit=0.20)
+    report = app.run(factory(meta))
+    return report
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        f"E11 / section 6 — scheduler ladder on the {ROWS}x{COLS} "
+        f"ocean stencil",
+        ["scheduler", "ok", "comm cost/iter", "makespan (s)",
+         "sched latency (s)"])
+    makespans = {}
+    ladder = [
+        ("random", lambda m: m.make_scheduler("random")),
+        ("round-robin", lambda m: m.make_scheduler("round-robin")),
+        ("irs", lambda m: m.make_scheduler("irs", n_schedules=4)),
+        ("load-aware", lambda m: m.make_scheduler("load")),
+        ("mct", lambda m: m.make_scheduler("mct")),
+        ("stencil-aware", lambda m: StencilScheduler(
+            m.collection, m.enactor, m.transport, rows=ROWS, cols=COLS,
+            instances_per_host=1)),
+    ]
+    for label, factory in ladder:
+        report = run_one(label, factory)
+        table.add(label, report.ok,
+                  report.metrics.get("comm_cost_per_iter", float("nan")),
+                  report.makespan, report.scheduling_time)
+        makespans[label] = report.makespan
+    table._makespans = makespans
+    return table
+
+
+def test_e11_smart_schedulers(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    m = table._makespans
+    # the specialist wins on its own workload
+    assert m["stencil-aware"] == min(m.values())
+    # and beats random by a meaningful factor
+    assert m["random"] / m["stencil-aware"] > 1.2

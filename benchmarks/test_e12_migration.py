@@ -1,0 +1,99 @@
+"""E12 — section 3.5: Monitor-driven rescheduling under load spikes.
+
+Long-running objects are placed; background-load spikes hit a subset of
+hosts over time.  With the Monitor registered (steps 12-13), overloaded
+hosts' RGE triggers fire and victims migrate to quiet machines.  We
+compare completion-time statistics with the Monitor on and off, over
+several spike patterns.
+"""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro import ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.sim import summarize
+from repro.workload import (
+    implementations_for_all_platforms,
+    multi_domain,
+    wait_for_completion,
+)
+
+WORK = 2500.0
+N_OBJECTS = 6
+SEEDS = (120, 121, 122)
+
+
+def run_one(monitor_enabled, seed):
+    meta = multi_domain(n_domains=2, hosts_per_domain=5, seed=seed,
+                        dynamics=False)
+    app = meta.create_class("Long", implementations_for_all_platforms(),
+                            work_units=WORK)
+    outcome = meta.make_scheduler("load").run(
+        [ObjectClassRequest(app, N_OBJECTS)])
+    assert outcome.ok
+
+    monitor = meta.make_monitor(min_load_advantage=1.0)
+    monitor.enabled = monitor_enabled
+    monitor.watch_all(meta.hosts)
+
+    # spikes: every 400s another host running an object gets hammered
+    rng = np.random.default_rng(seed)
+    victims = list({app.get_instance(l).host_loid
+                    for l in outcome.created})
+    for i, host_loid in enumerate(victims[:3]):
+        host = meta.resolve(host_loid)
+
+        def spike(h=host):
+            h.machine.set_background_load(30.0)
+            h.reassess()
+        meta.sim.schedule(300.0 + 400.0 * i, spike)
+
+    start = meta.now
+    n, last = wait_for_completion(meta, app, outcome.created, timeout=1e6)
+    times = [float(app.get_instance(l).attributes.get("completed_at",
+                                                      float("nan"))) - start
+             for l in outcome.created]
+    return {
+        "completed": n,
+        "times": times,
+        "migrations": monitor.stats.migrations_succeeded,
+        "outcalls": monitor.stats.outcalls_received,
+    }
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        f"E12 / section 3.5 — migration under load spikes "
+        f"({N_OBJECTS} x {WORK:.0f}-unit objects, {len(SEEDS)} seeds)",
+        ["monitor", "completed", "mean completion (s)",
+         "p90 completion (s)", "max completion (s)", "migrations"])
+    rows = {}
+    for enabled in (False, True):
+        all_times, migrations, completed = [], 0, 0
+        for seed in SEEDS:
+            r = run_one(enabled, seed)
+            all_times.extend(r["times"])
+            migrations += r["migrations"]
+            completed += r["completed"]
+        stats = summarize(all_times, percentiles=(90,))
+        label = "enabled" if enabled else "disabled"
+        table.add(label, completed, stats["mean"], stats["p90"],
+                  stats["max"], migrations)
+        rows[label] = {"stats": stats, "migrations": migrations}
+    table._rows = rows
+    return table
+
+
+def test_e12_migration(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    rows = table._rows
+    assert rows["enabled"]["migrations"] >= 1
+    assert rows["disabled"]["migrations"] == 0
+    # migration cuts the tail (spiked objects no longer crawl)
+    assert (rows["enabled"]["stats"]["max"]
+            < rows["disabled"]["stats"]["max"])
+    assert (rows["enabled"]["stats"]["mean"]
+            <= rows["disabled"]["stats"]["mean"])

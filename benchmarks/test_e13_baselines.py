@@ -1,0 +1,159 @@
+"""E13 — section 5: Legion RMI vs the related-work baselines.
+
+A multi-domain workload with *real site autonomy* (domain blacklists,
+load ceilings, an off-hours-only site) is scheduled four ways:
+
+* Legion IRS (reservations + variants, the full RMI);
+* a Globus-1999-style broker (no reservations, one mapping per task,
+  recompute-on-failure);
+* a single-site central queue (Condor/LoadLeveler used alone);
+* a dictatorial scheduler that ignores autonomy.
+
+Shape claims: the RMI places the full workload under policy friction,
+spreading it across domains; the dictator loses the placements autonomy
+refuses; the all-or-nothing broker collapses entirely; the central queue
+places everything but only ever uses its one site.
+"""
+
+from conftest import run_once
+
+from repro import ObjectClassRequest
+from repro.baselines import (
+    CentralQueueBaseline,
+    DictatorialScheduler,
+    GlobusStyleBroker,
+)
+from repro.bench import ExperimentTable
+from repro.hosts.policy import DomainBlacklist, LoadCeiling, TimeOfDayWindow
+from repro.workload import (
+    TestbedSpec,
+    build_testbed,
+    implementations_for_all_platforms,
+    wait_for_completion,
+)
+
+N_TASKS = 12
+
+
+def build():
+    meta = build_testbed(TestbedSpec(
+        n_domains=3, hosts_per_domain=6, platform_mix=3,
+        background_load_mean=0.4, seed=13, host_slots=3,
+        batch_clusters={0: "fcfs"}, batch_nodes=6))
+    # site autonomy: every domain enforces something.  dom1 refuses
+    # requests from dom0 (and anonymous ones); half of dom2 accepts work
+    # only during business hours — and the experiment runs at "midnight".
+    for host in meta.hosts:
+        if host.domain == "dom1":
+            host.policy = DomainBlacklist(["", "dom0"])
+        elif host.domain == "dom2" and host.machine.name.endswith(
+                ("1", "3", "5")):
+            host.policy = TimeOfDayWindow(8.0, 18.0)
+    # the Legion user schedules from dom0 — dom1 will refuse it too, and
+    # the RMI must route around the refusals via variants
+    meta.enactor.coallocator.requester_domain = "dom0"
+    app_impls = implementations_for_all_platforms()
+    return meta, app_impls
+
+
+def measure(label, runner, meta, app):
+    m0 = meta.transport.messages_sent
+    t0 = meta.now
+    created, ok_flag = runner()
+    messages = meta.transport.messages_sent - m0
+    n, last = wait_for_completion(meta, app, created, timeout=1e6)
+    return {
+        "label": label, "ok": ok_flag,
+        "placed": len(created), "completed": n,
+        "makespan": (last - t0) if created and n == len(created)
+        else float("nan"),
+        "messages": messages,
+    }
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        f"E13 / section 5 — Legion RMI vs baselines, {N_TASKS} tasks, "
+        f"3 domains with site policies",
+        ["strategy", "placed", "completed", "makespan (s)", "messages"])
+    rows = {}
+
+    # Legion IRS
+    meta, impls = build()
+    app = meta.create_class("W", impls, work_units=200.0)
+    sched = meta.make_scheduler("irs", n_schedules=6)
+
+    def legion():
+        created = []
+        for _ in range(4):
+            outcome = sched.run(
+                [ObjectClassRequest(app, N_TASKS - len(created))],
+                reservation_duration=400.0)
+            if outcome.ok:
+                created.extend(outcome.created)
+            if len(created) >= N_TASKS:
+                break
+            meta.advance(60.0)
+        return created, len(created) == N_TASKS
+    rows["legion"] = measure("legion irs", legion, meta, app)
+    legion_domains = {meta.resolve(app.get_instance(l).host_loid).domain
+                      if app.get_instance(l).host_loid is not None else "?"
+                      for l in app.instances}
+    rows["legion"]["domains"] = legion_domains
+
+    # Globus-style broker
+    meta, impls = build()
+    app = meta.create_class("W", impls, work_units=200.0)
+    broker = GlobusStyleBroker(meta.collection, meta.transport,
+                               meta.resolve,
+                               rng=meta.rngs.stream("e13", "broker"),
+                               retry_limit=6)
+
+    def globus():
+        outcome = broker.run([ObjectClassRequest(app, N_TASKS)])
+        return outcome.created, outcome.ok
+    rows["globus"] = measure("globus-style broker", globus, meta, app)
+
+    # central queue
+    meta, impls = build()
+    app = meta.create_class("W", impls, work_units=200.0)
+    cluster = meta.host_by_name("dom0-cluster")
+    central = CentralQueueBaseline(cluster, meta.transport)
+
+    def queue_only():
+        outcome = central.run([ObjectClassRequest(app, N_TASKS)])
+        return outcome.created, outcome.ok
+    rows["central"] = measure("central queue only", queue_only, meta, app)
+
+    # dictatorial
+    meta, impls = build()
+    app = meta.create_class("W", impls, work_units=200.0)
+    dictator = DictatorialScheduler(meta.collection, meta.transport,
+                                    meta.resolve,
+                                    rng=meta.rngs.stream("e13", "dict"))
+
+    def command():
+        outcome = dictator.run([ObjectClassRequest(app, N_TASKS)])
+        return outcome.created, outcome.ok
+    rows["dictator"] = measure("dictatorial (ignores autonomy)", command,
+                               meta, app)
+
+    for r in rows.values():
+        table.add(r["label"], r["placed"], r["completed"], r["makespan"],
+                  r["messages"])
+    table._rows = rows
+    return table
+
+
+def test_e13_baselines(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    rows = table._rows
+    # the full RMI places the whole workload despite site policies
+    assert rows["legion"]["placed"] == N_TASKS
+    # the dictator loses placements to autonomy
+    assert rows["dictator"]["placed"] < N_TASKS
+    # the all-or-nothing broker fares no better than the RMI
+    assert rows["globus"]["placed"] <= rows["legion"]["placed"]
+    # the RMI harnessed several domains; the central queue is single-site
+    assert len(rows["legion"]["domains"]) >= 2

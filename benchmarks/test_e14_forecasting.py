@@ -1,0 +1,134 @@
+"""E14 — section 3.2: function injection + NWS-style load forecasting.
+
+"We plan to extend Collections to support function injection ... This
+capability is especially important to users of the Network Weather
+Service, which predicts future resource availability."
+
+Scenario engineered so stale information actively misleads: the system has
+*good* hosts (base load 0.2) and *bad* hosts (base load 2.0), but good
+hosts suffer short transient load bursts (cron jobs, mail delivery — the
+1990s workstation experience) that happen to be visible whenever the
+Data Collection Daemon sweeps.  A Scheduler trusting the raw snapshot
+flees the good hosts exactly when they look busiest; a windowed-median
+NWS forecaster injected as ``$predicted_load`` sees through the
+transients.  Metric: the realized (true, current) service rate of chosen
+hosts.
+"""
+
+from conftest import run_once
+
+from repro import Implementation, MachineSpec, Metasystem, ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.predict import HostLoadPredictor, SlidingWindowMedian
+from repro.scheduler import LoadAwareScheduler
+
+N_GOOD = 5
+N_BAD = 5
+N_ROUNDS = 10
+SWEEP = 120.0
+
+
+def build(seed):
+    meta = Metasystem(seed=seed, reassess_interval=1e9)
+    meta.add_domain("d")
+    for i in range(N_GOOD):
+        meta.add_unix_host(f"good{i}", "d",
+                           MachineSpec(arch="sparc", os_name="SunOS"),
+                           initial_load=0.2, slots=8,
+                           push_to_collection=False)
+    for i in range(N_BAD):
+        meta.add_unix_host(f"bad{i}", "d",
+                           MachineSpec(arch="sparc", os_name="SunOS"),
+                           initial_load=2.0, slots=8,
+                           push_to_collection=False)
+    meta.add_vault("d")
+    app = meta.create_class("A", [Implementation("sparc", "SunOS")],
+                            work_units=20.0)
+    daemon = meta.make_daemon(interval=SWEEP)
+    daemon.start()
+
+    # transient bursts on good hosts around every sweep instant
+    spike_rng = meta.rngs.stream("e14", "spikes")
+
+    def schedule_bursts(t):
+        for host in meta.hosts:
+            if not host.machine.name.startswith("good"):
+                continue
+            if spike_rng.random() < 0.6:
+                meta.sim.schedule_at(
+                    max(t - 5.0, 0.0),
+                    lambda h=host: (h.machine.set_background_load(6.0),
+                                    h.reassess()))
+                meta.sim.schedule_at(
+                    t + 10.0,
+                    lambda h=host: (h.machine.set_background_load(0.2),
+                                    h.reassess()))
+        # plan the next sweep's bursts well before its t-5s lead-in
+        meta.sim.schedule_at(t + SWEEP / 2,
+                             lambda: schedule_bursts(t + SWEEP))
+    schedule_bursts(SWEEP)
+    return meta, app, daemon
+
+
+def realized_rate(meta, entries):
+    total = 0.0
+    for mapping in entries:
+        host = meta.resolve(mapping.host_loid)
+        total += (host.machine.spec.speed
+                  / (1.0 + host.machine.load_average))
+    return total / len(entries)
+
+
+def run_mode(use_forecast, seed):
+    meta, app, daemon = build(seed)
+    predictor = HostLoadPredictor(
+        factory=lambda: SlidingWindowMedian(window=7))
+    if use_forecast:
+        meta.collection.inject_attribute("predicted_load",
+                                         predictor.computed)
+    # NWS sensors sample on their own (faster) cadence, independent of
+    # the Collection's sweep times — that independence is what lets the
+    # forecaster average out the sweep-correlated transients
+    def sense():
+        for host in meta.hosts:
+            predictor.observe(host.machine.name,
+                              host.machine.load_average)
+        meta.sim.schedule(30.0, sense)
+    meta.sim.schedule(15.0, sense)
+
+    sched = LoadAwareScheduler(
+        meta.collection, meta.enactor, meta.transport,
+        predicted_load_attr="predicted_load" if use_forecast else "",
+        rng=meta.rngs.stream("e14", "sched"))
+    meta.advance(SWEEP * 8 + 1.0)  # build up forecast history
+    rates = []
+    for _ in range(N_ROUNDS):
+        meta.advance(45.0)  # mid-gap: bursts are over, records still stale
+        outcome = sched.run([ObjectClassRequest(app, 3)],
+                            reservation_duration=40.0)
+        if outcome.ok:
+            rates.append(realized_rate(meta,
+                                       outcome.feedback.reserved_entries))
+        meta.advance(SWEEP - 45.0)
+    return sum(rates) / len(rates) if rates else float("nan")
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        "E14 / section 3.2 — scheduling on raw vs NWS-forecast load "
+        "(records refreshed during transient bursts)",
+        ["load source", "mean realized service rate"])
+    seeds = (140, 141, 142)
+    raw = sum(run_mode(False, s) for s in seeds) / len(seeds)
+    forecast = sum(run_mode(True, s) for s in seeds) / len(seeds)
+    table.add("raw $host_load (stale snapshot)", raw)
+    table.add("injected $predicted_load (NWS median)", forecast)
+    table._raw, table._forecast = raw, forecast
+    return table
+
+
+def test_e14_forecasting(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    # seeing through transients yields strictly better placements
+    assert table._forecast > table._raw

@@ -1,0 +1,77 @@
+"""E17 (extension) — section 3.3 future work: implementation selection.
+
+"In the future, this mapping process may also select from among the
+available implementations of an object as well."
+
+A class ships a generic binary plus per-platform tuned binaries (2-3x).
+The load-aware Scheduler runs with selection off (the Class falls back to
+its first matching binary) and on (the mapping pins the fastest).  Metric:
+makespan of a bag of tasks.
+"""
+
+from conftest import run_once
+
+from repro import Implementation, ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.scheduler import LoadAwareScheduler
+from repro.workload import TestbedSpec, build_testbed, wait_for_completion
+
+N_TASKS = 8
+WORK = 400.0
+
+
+def implementations():
+    # order matters: the generic binary is listed first, so the Class's
+    # default choice is the slow one — exactly the situation selection
+    # exists to fix
+    impls = []
+    for arch, os_name in (("sparc", "SunOS"), ("x86", "Linux"),
+                          ("mips", "IRIX")):
+        impls.append(Implementation(arch, os_name, relative_speed=1.0))
+    for arch, os_name, speed in (("sparc", "SunOS", 2.0),
+                                 ("x86", "Linux", 3.0),
+                                 ("mips", "IRIX", 2.5)):
+        impls.append(Implementation(arch, os_name, memory_mb=32.0,
+                                    relative_speed=speed))
+    return impls
+
+
+def run_mode(select):
+    meta = build_testbed(TestbedSpec(
+        n_domains=2, hosts_per_domain=6, platform_mix=3,
+        background_load_mean=0.0, seed=17, host_slots=3))
+    app = meta.create_class("Tuned", implementations(), work_units=WORK)
+    sched = LoadAwareScheduler(meta.collection, meta.enactor,
+                               meta.transport,
+                               select_implementation=select,
+                               rng=meta.rngs.stream("e17"))
+    outcome = sched.run([ObjectClassRequest(app, N_TASKS)])
+    assert outcome.ok
+    start = 0.0
+    n, last = wait_for_completion(meta, app, outcome.created)
+    assert n == N_TASKS
+    pinned = sum(1 for m in outcome.feedback.reserved_entries
+                 if m.implementation is not None)
+    return last - start, pinned
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        f"E17 / section 3.3 ext. — implementation selection, "
+        f"{N_TASKS} x {WORK:.0f}-unit tasks",
+        ["mapping selects implementation", "pinned entries",
+         "makespan (s)"])
+    off_makespan, off_pinned = run_mode(False)
+    on_makespan, on_pinned = run_mode(True)
+    table.add("no (Class default binary)", off_pinned, off_makespan)
+    table.add("yes (fastest matching binary)", on_pinned, on_makespan)
+    table._off, table._on = off_makespan, on_makespan
+    return table
+
+
+def test_e17_impl_selection(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    # pinning tuned binaries cuts makespan by roughly the tuning factor
+    assert table._on < table._off
+    assert table._off / table._on > 1.5

@@ -1,0 +1,114 @@
+"""E18 (ablations) — the substrate design decisions DESIGN.md section 4
+calls out.
+
+(a) **Information staleness**: sweep the hosts' reassessment interval; the
+    staler the Collection, the more the Enactor leans on variants and the
+    lower first-try success gets — quantifying why the master/variant
+    machinery exists at all.
+(b) **Wide-area latency**: scale the inter-domain latency distribution and
+    measure end-to-end scheduling latency; protocol cost must track the
+    network, not Python overheads.
+"""
+
+from conftest import run_once
+
+from repro import Implementation, MachineSpec, Metasystem, ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.hosts import LoadWalk
+from repro.net.latency import MetasystemLatencyModel
+from repro.sim.distributions import Clipped, LogNormal
+from repro.workload import implementations_for_all_platforms, multi_domain
+
+
+def staleness_ablation() -> ExperimentTable:
+    table = ExperimentTable(
+        "E18a — reassessment interval vs placement behaviour "
+        "(12 rounds x 3 instances)",
+        ["reassess interval (s)", "first-try success",
+         "variant attempts", "mean record age (s)"])
+    from repro.scheduler import LoadAwareScheduler
+    rows = []
+    for interval in (10.0, 60.0, 300.0):
+        meta = Metasystem(seed=18, reassess_interval=interval)
+        meta.add_domain("d")
+        for i in range(6):
+            meta.add_unix_host(
+                f"h{i}", "d", MachineSpec(arch="sparc", os_name="SunOS"),
+                slots=2)
+        meta.add_vault("d")
+        app = meta.create_class("A", [Implementation("sparc", "SunOS")],
+                                work_units=400.0)
+        # load-aware filters on $host_slots_free — exactly the attribute
+        # that goes stale between reassessments
+        sched = LoadAwareScheduler(meta.collection, meta.enactor,
+                                   meta.transport, n_variants=3,
+                                   rng=meta.rngs.stream("e18"))
+        sched.sched_try_limit = 1
+        sched.enact_try_limit = 1
+        first_try = 0
+        rounds = 12
+        ages = []
+        for _ in range(rounds):
+            meta.advance(97.0)
+            ages.append(meta.collection.mean_staleness())
+            outcome = sched.run([ObjectClassRequest(app, 3)],
+                                reservation_duration=120.0)
+            if outcome.ok:
+                first_try += 1
+        mean_age = sum(ages) / len(ages)
+        rows.append((interval, first_try / rounds,
+                     sched.enactor.stats.variant_attempts, mean_age))
+        table.add(interval, first_try / rounds,
+                  sched.enactor.stats.variant_attempts, mean_age)
+    table._rows = rows
+    return table
+
+
+def latency_ablation() -> ExperimentTable:
+    table = ExperimentTable(
+        "E18b — inter-domain latency scale vs scheduling latency",
+        ["latency scale", "virtual scheduling latency (s)"])
+    rows = []
+    for scale in (1.0, 4.0, 16.0):
+        meta = multi_domain(n_domains=3, hosts_per_domain=4, seed=18,
+                            dynamics=False)
+        base = MetasystemLatencyModel(meta.topology)
+        meta.latency_model = MetasystemLatencyModel(
+            meta.topology,
+            inter=Clipped(LogNormal(mu=-3.7, sigma=0.5), low=5e-3,
+                          high=2.0 * scale))
+        # scale the median by shifting mu: ln(scale) added
+        import math
+        meta.latency_model.inter = Clipped(
+            LogNormal(mu=-3.7 + math.log(scale), sigma=0.5),
+            low=5e-3 * scale, high=2.0 * scale)
+        meta.transport.latency_model = meta.latency_model
+        meta.place_enactor("dom0")
+        meta.place_collection("dom0")
+        app = meta.create_class("A", implementations_for_all_platforms(),
+                                work_units=10.0)
+        sched = meta.make_scheduler("irs", n_schedules=3)
+        outcome = sched.run([ObjectClassRequest(app, 6)])
+        assert outcome.ok
+        rows.append((scale, outcome.elapsed))
+        table.add(scale, outcome.elapsed)
+    table._rows = rows
+    return table
+
+
+def run():
+    return staleness_ablation(), latency_ablation()
+
+
+def test_e18_ablations(benchmark):
+    a, b = run_once(benchmark, run)
+    a.print()
+    b.print()
+    stale_rows = a._rows
+    # staler information -> lower first-try success, more variant work
+    assert stale_rows[0][1] > stale_rows[-1][1]
+    assert stale_rows[0][2] <= stale_rows[-1][2]
+    assert stale_rows[0][3] < stale_rows[-1][3]  # record age grows
+    lat_rows = b._rows
+    # protocol latency tracks the network scale monotonically
+    assert lat_rows[0][1] < lat_rows[1][1] < lat_rows[2][1]

@@ -1,0 +1,81 @@
+"""E20 (extension) — cost/turnaround trade-off with metered accounting.
+
+"Users want to optimize factors such as application throughput,
+turnaround time, or cost" (§1), and hosts may export "the amount charged
+per CPU cycle consumed" (§3.1).  A priced market of hosts (fast ones cost
+10x) runs the same bag of tasks under the cost-aware Scheduler at several
+deadlines, with the Ledger auditing actual spend.  Shape claims: the
+deadline knob trades money for makespan monotonically, and audited cost
+equals the sum of (cycles consumed x advertised price) exactly.
+"""
+
+from conftest import run_once
+
+from repro import Implementation, MachineSpec, Metasystem, ObjectClassRequest
+from repro.accounting import CostAwareScheduler, Ledger
+from repro.bench import ExperimentTable
+from repro.workload import wait_for_completion
+
+N_TASKS = 8
+WORK = 200.0
+
+
+def build():
+    meta = Metasystem(seed=20)
+    meta.add_domain("d")
+    specs = [(1.0, 0.01)] * 4 + [(4.0, 0.10)] * 4
+    for i, (speed, price) in enumerate(specs):
+        meta.add_unix_host(f"h{i}", "d",
+                           MachineSpec(arch="sparc", os_name="SunOS",
+                                       speed=speed),
+                           slots=4, price=price)
+    meta.add_vault("d")
+    app = meta.create_class("A", [Implementation("sparc", "SunOS")],
+                            work_units=WORK)
+    ledger = Ledger(clock=lambda: meta.now)
+    ledger.attach_all(meta.hosts)
+    return meta, app, ledger
+
+
+def run_deadline(deadline):
+    meta, app, ledger = build()
+    sched = CostAwareScheduler(meta.collection, meta.enactor,
+                               meta.transport, deadline=deadline,
+                               rng=meta.rngs.stream("e20"))
+    outcome = sched.run([ObjectClassRequest(app, N_TASKS)])
+    assert outcome.ok
+    n, last = wait_for_completion(meta, app, outcome.created)
+    assert n == N_TASKS
+    # audit: ledger total == sum over hosts of cycles x price
+    expected = sum(cycles * meta.resolve(h).price
+                   for h, cycles in ledger.cycles_by_host().items())
+    assert abs(ledger.total - expected) < 1e-9
+    return last, ledger.total
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        f"E20 / §1 cost optimization — {N_TASKS} x {WORK:.0f}-unit tasks "
+        f"on a priced market (slow 0.01/cycle, 4x-fast 0.10/cycle)",
+        ["deadline (s)", "makespan (s)", "audited cost"])
+    rows = []
+    for deadline in (1e9, 450.0, 120.0):
+        makespan, cost = run_deadline(deadline)
+        label = "unbounded" if deadline >= 1e9 else deadline
+        table.add(label, makespan, cost)
+        rows.append((deadline, makespan, cost))
+    table._rows = rows
+    return table
+
+
+def test_e20_cost(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    rows = table._rows
+    costs = [c for _d, _m, c in rows]
+    makespans = [m for _d, m, _c in rows]
+    # tighter deadlines cost more and finish sooner
+    assert costs[0] < costs[-1]
+    assert makespans[0] > makespans[-1]
+    # cheapest run pays the all-slow price exactly
+    assert costs[0] == ((N_TASKS * WORK * 0.01) if True else None)

@@ -1,0 +1,77 @@
+"""E21 (extension) — §3.1 multi-object StartObject on multiprocessors.
+
+"The StartObject function can create one or more objects; this is
+important to support efficient object creation for multiprocessor
+systems."
+
+Placing N instances on a pool of SMPs, gang placement (one reservation +
+one multi-create per host) is compared against one-entry-per-instance
+placement: messages, reservation requests, and virtual placement latency
+per instance, across N.
+"""
+
+from conftest import run_once
+
+from repro import Implementation, MachineSpec, Metasystem, ObjectClassRequest
+from repro.bench import ExperimentTable
+
+
+def build():
+    meta = Metasystem(seed=21)
+    meta.add_domain("d")
+    for i in range(4):
+        meta.add_unix_host(f"smp{i}", "d",
+                           MachineSpec(arch="sparc", os_name="SunOS",
+                                       cpus=8),
+                           slots=16)
+    meta.add_vault("d")
+    app = meta.create_class("A", [Implementation("sparc", "SunOS")],
+                            work_units=10.0)
+    return meta, app
+
+
+def run_mode(kind, n):
+    meta, app = build()
+    sched = meta.make_scheduler(kind)
+    m0 = meta.transport.messages_sent
+    r0 = meta.enactor.stats.reservation_requests
+    t0 = meta.now
+    outcome = sched.run([ObjectClassRequest(app, n)])
+    assert outcome.ok and len(outcome.created) == n
+    return {
+        "messages": meta.transport.messages_sent - m0,
+        "reservations": meta.enactor.stats.reservation_requests - r0,
+        "latency": meta.now - t0,
+    }
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        "E21 / §3.1 — gang vs single-instance placement on 4 x 8-way SMPs",
+        ["instances", "mode", "messages", "reservation reqs",
+         "virtual latency (s)"])
+    rows = {}
+    for n in (8, 16, 32):
+        for kind in ("random", "gang"):
+            r = run_mode(kind, n)
+            table.add(n, "single" if kind == "random" else "gang",
+                      r["messages"], r["reservations"], r["latency"])
+            rows[(n, kind)] = r
+    table._rows = rows
+    return table
+
+
+def test_e21_gang(benchmark):
+    table = run_once(benchmark, run)
+    table.print()
+    rows = table._rows
+    for n in (8, 16, 32):
+        single, gang = rows[(n, "random")], rows[(n, "gang")]
+        assert gang["messages"] < single["messages"]
+        assert gang["reservations"] < single["reservations"]
+        assert gang["latency"] <= single["latency"]
+    # the advantage grows with N (amortization)
+    adv8 = rows[(8, "random")]["messages"] / rows[(8, "gang")]["messages"]
+    adv32 = (rows[(32, "random")]["messages"]
+             / rows[(32, "gang")]["messages"])
+    assert adv32 >= adv8

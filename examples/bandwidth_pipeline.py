@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Network Objects (paper section 6 future work): a cross-domain pipeline.
+
+A 4-stage processing pipeline streams data between consecutive stages.
+Inter-domain links are guarded by Network Objects — the communications
+analogue of Host Objects, with capacity admission and unforgeable
+bandwidth tokens.  One link is congested; the bandwidth-aware Scheduler
+consults the links, routes the pipeline around the congestion, and
+co-allocates bandwidth alongside the host reservations.
+
+Run:  python examples/bandwidth_pipeline.py
+"""
+
+from repro import ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.network_objects import (
+    BandwidthAwareScheduler,
+    LinkRegistry,
+    NetworkObject,
+)
+from repro.scheduler import LoadAwareScheduler
+from repro.workload import implementations_for_all_platforms, multi_domain
+
+STAGES = 4
+TRAFFIC = 4.0e4  # bytes/second between consecutive stages
+
+
+def build():
+    meta = multi_domain(n_domains=3, hosts_per_domain=6, seed=404,
+                        dynamics=False)
+    registry = LinkRegistry()
+    domains = [d.name for d in meta.topology.domains()]
+    for i, da in enumerate(domains):
+        for db in domains[i + 1:]:
+            registry.add(NetworkObject(
+                meta.minter.mint("svc", f"link-{da}-{db}"), da, db,
+                capacity=1.0e5))
+    # a big file transfer is hogging the dom0-dom1 link
+    registry.between("dom0", "dom1").reserve_bandwidth(
+        0.9e5, now=0.0, duration=1e9)
+    app = meta.create_class("PipelineStage",
+                            implementations_for_all_platforms(),
+                            work_units=100.0)
+    host_domains = {h.loid: h.domain for h in meta.hosts}
+    return meta, registry, app, host_domains
+
+
+def main() -> None:
+    table = ExperimentTable(
+        f"{STAGES}-stage pipeline, {TRAFFIC:.0f} B/s per edge, "
+        f"dom0-dom1 link 90% reserved",
+        ["scheduler", "placement (domains)", "comm penalty",
+         "bandwidth co-allocated (B/s)"])
+
+    for label, aware in (("bandwidth-blind load-aware", False),
+                         ("bandwidth-aware", True)):
+        meta, registry, app, host_domains = build()
+        evaluator = BandwidthAwareScheduler(
+            meta.collection, meta.enactor, meta.transport, links=registry,
+            host_domains=host_domains, pair_traffic=TRAFFIC)
+        if aware:
+            sched = evaluator
+        else:
+            sched = LoadAwareScheduler(meta.collection, meta.enactor,
+                                       meta.transport, n_variants=4)
+        outcome = sched.run([ObjectClassRequest(app, STAGES)])
+        assert outcome.ok
+        entries = outcome.feedback.reserved_entries
+        chain = " -> ".join(host_domains[m.host_loid] for m in entries)
+        penalty = evaluator.comm_penalty(entries, meta.now)
+        reserved = 0.0
+        if aware:
+            plan = evaluator.allocate_bandwidth(entries, duration=600.0)
+            reserved = sum(t.bandwidth for t in plan.tokens)
+            print("bandwidth tokens:")
+            for tok in plan.tokens:
+                print(f"  {tok.link_loid}: {tok.bandwidth:.0f} B/s over "
+                      f"[{tok.start:.0f}, {tok.end:.0f})")
+        table.add(label, chain, penalty, reserved)
+
+    table.print()
+    print("Expected shape: the aware Scheduler avoids the congested link "
+          "(lower comm penalty)\nand holds real bandwidth reservations "
+          "for the edges it does use.")
+
+
+if __name__ == "__main__":
+    main()

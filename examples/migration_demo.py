@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Trigger-driven migration (paper sections 2.1 and 3.5, Fig. 3 steps 12-13).
+
+Long-running objects are placed on a quiet metasystem; then another user's
+heavy job lands on one machine (a load spike).  The host's RGE trigger
+fires, the Monitor's registered outcall runs, and the victims are migrated
+— shutdown, OPR moved, reactivated elsewhere — preserving their progress.
+
+The same scenario is run with the Monitor disabled to show what the
+mechanism buys.
+
+Run:  python examples/migration_demo.py
+"""
+
+from repro import ObjectClassRequest
+from repro.bench import ExperimentTable
+from repro.workload import (
+    implementations_for_all_platforms,
+    multi_domain,
+    wait_for_completion,
+)
+
+WORK = 3000.0  # ~50 virtual minutes
+
+
+def run(monitor_enabled: bool):
+    meta = multi_domain(n_domains=2, hosts_per_domain=4, seed=303,
+                        dynamics=False)
+    app = meta.create_class("LongJob",
+                            implementations_for_all_platforms(),
+                            work_units=WORK)
+    scheduler = meta.make_scheduler("load")
+    outcome = scheduler.run([ObjectClassRequest(app, count=4)])
+    assert outcome.ok
+
+    monitor = meta.make_monitor(min_load_advantage=1.0)
+    monitor.enabled = monitor_enabled
+    monitor.watch_all(meta.hosts)
+
+    # at t=300 a load spike hits the host running the first object
+    victim_host_loid = app.get_instance(outcome.created[0]).host_loid
+    victim_host = meta.resolve(victim_host_loid)
+
+    def spike():
+        victim_host.machine.set_background_load(25.0)
+        victim_host.reassess()
+    meta.sim.schedule(300.0, spike)
+
+    start = meta.now
+    n, last = wait_for_completion(meta, app, outcome.created, timeout=1e6)
+    return {
+        "completed": n,
+        "makespan": last - start,
+        "outcalls": monitor.stats.outcalls_received,
+        "migrations": monitor.stats.migrations_succeeded,
+    }
+
+
+def main() -> None:
+    table = ExperimentTable(
+        "Load spike at t=300s on a host running a long job",
+        ["monitor", "completed", "makespan (s)", "outcalls",
+         "migrations"])
+    for enabled in (False, True):
+        r = run(enabled)
+        table.add("enabled" if enabled else "disabled", r["completed"],
+                  r["makespan"], r["outcalls"], r["migrations"])
+    table.print()
+    print("Expected shape: with the Monitor enabled, the spiked object is "
+          "migrated to a quiet host\nand overall makespan drops sharply.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""A cross-domain parameter-space study (paper section 4.3).
+
+Sixty sweep points with heavy-tailed cost are scheduled across a
+metasystem of three domains — workstations plus an FCFS cluster and a
+Maui-style backfill cluster — and compared against the section-5
+"single local queue" way of life (everything submitted to one cluster).
+
+Run:  python examples/parameter_study.py
+"""
+
+from repro import ObjectClassRequest
+from repro.baselines import CentralQueueBaseline
+from repro.bench import ExperimentTable
+from repro.hosts import BatchQueueHost
+from repro.workload import (
+    ParameterStudy,
+    TestbedSpec,
+    build_testbed,
+    wait_for_completion,
+)
+
+N_POINTS = 60
+
+
+def build():
+    return build_testbed(TestbedSpec(
+        n_domains=3, hosts_per_domain=8, platform_mix=3,
+        background_load_mean=0.4, seed=202,
+        batch_clusters={0: "fcfs", 1: "backfill"}, batch_nodes=8,
+        host_slots=3))
+
+
+def run_metasystem_wide(kind: str):
+    meta = build()
+    study = ParameterStudy(meta, "sweep", n_points=N_POINTS,
+                           base_work=60.0, tail_alpha=1.7)
+    sched = meta.make_scheduler(kind)
+    # schedule in waves of 10 (reservation contention is realistic);
+    # short-lived reservations cover only the submission window
+    created = []
+    waves = 0
+    for _ in range(40):
+        remaining = N_POINTS - len(created)
+        outcome = sched.run(
+            [ObjectClassRequest(study.class_obj, min(10, remaining))],
+            reservation_duration=300.0)
+        waves += 1
+        if outcome.ok:
+            created.extend(outcome.created)
+            if len(created) >= N_POINTS:
+                break
+        else:
+            meta.advance(120.0)  # let running points drain, then retry
+    start = 0.0
+    n, last = wait_for_completion(meta, study.class_obj, created,
+                                  timeout=1e6)
+    return len(created), n, last - start, waves
+
+
+def run_central_queue():
+    meta = build()
+    study = ParameterStudy(meta, "sweep", n_points=N_POINTS,
+                           base_work=60.0, tail_alpha=1.7)
+    cluster = next(h for h in meta.hosts if isinstance(h, BatchQueueHost))
+    baseline = CentralQueueBaseline(cluster, meta.transport)
+    outcome = baseline.run([ObjectClassRequest(study.class_obj, N_POINTS)])
+    created = outcome.created
+    n, last = wait_for_completion(meta, study.class_obj, created,
+                                  timeout=1e6)
+    return len(created), n, last, 1
+
+
+def main() -> None:
+    table = ExperimentTable(
+        f"Parameter study: {N_POINTS} heavy-tailed points",
+        ["strategy", "placed", "completed", "makespan (s)", "waves"])
+    for label, runner in [
+        ("legion random", lambda: run_metasystem_wide("random")),
+        ("legion load-aware", lambda: run_metasystem_wide("load")),
+        ("central queue only", run_central_queue),
+    ]:
+        placed, completed, makespan, waves = runner()
+        table.add(label, placed, completed, makespan, waves)
+    table.print()
+    print("Expected shape: load-aware metasystem-wide scheduling beats "
+          "funnelling every point into one\nsite's queue.  Load-blind "
+          "random placement can even lose to the single queue — exactly "
+          "the\npaper's motivation for building infrastructure that lets "
+          "smarter Schedulers drop in.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Accounting: cycle metering, ledgers, and cost-aware scheduling."""
+
+from .cost_sched import CostAwareScheduler
+from .ledger import ChargeRecord, Ledger
+
+__all__ = ["Ledger", "ChargeRecord", "CostAwareScheduler"]

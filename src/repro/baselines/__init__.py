@@ -1,0 +1,11 @@
+"""Related-work baselines (paper section 5) for comparative experiments."""
+
+from .central_queue import CentralQueueBaseline, CentralQueueOutcome
+from .dictatorial import DictatorialOutcome, DictatorialScheduler
+from .globus_style import BrokerOutcome, GlobusStyleBroker
+
+__all__ = [
+    "GlobusStyleBroker", "BrokerOutcome",
+    "CentralQueueBaseline", "CentralQueueOutcome",
+    "DictatorialScheduler", "DictatorialOutcome",
+]

@@ -1,0 +1,86 @@
+"""A single-site queue-manager baseline (paper section 5).
+
+"There are many software systems for managing a locally-distributed
+multicomputer, including Condor and LoadLeveler. ... While extremely
+well-suited to what they do, they do not map well onto wide-area
+environments."
+
+This baseline submits every task to one designated Batch Queue Host (its
+own site's cluster) and simply queues when the cluster is busy — it cannot
+see or use workstations and clusters in other domains.  E13 measures the
+throughput/makespan it forfeits relative to metasystem-wide scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..errors import LegionError
+from ..hosts.batch_host import BatchQueueHost
+from ..naming.loid import LOID
+from ..net.transport import Transport
+from ..objects.class_object import Placement
+from ..scheduler.base import ObjectClassRequest
+
+__all__ = ["CentralQueueBaseline", "CentralQueueOutcome"]
+
+
+@dataclass
+class CentralQueueOutcome:
+    ok: bool
+    created: List[LOID] = field(default_factory=list)
+    messages: int = 0
+    elapsed: float = 0.0
+    detail: str = ""
+
+
+class CentralQueueBaseline:
+    """Everything goes to one local queue-managed cluster."""
+
+    def __init__(self, cluster: BatchQueueHost, transport: Transport,
+                 location=None):
+        self.cluster = cluster
+        self.transport = transport
+        self.location = location
+
+    def run(self, requests: Sequence[ObjectClassRequest]
+            ) -> CentralQueueOutcome:
+        start = self.transport.sim.now
+        msgs_before = self.transport.messages_sent
+        outcome = CentralQueueOutcome(ok=True)
+        vaults = self.cluster.get_compatible_vaults()
+        if not vaults:
+            return CentralQueueOutcome(False,
+                                       detail="cluster has no vault")
+        for request in requests:
+            class_obj = request.class_obj
+            if not class_obj.supports_platform(
+                    self.cluster.machine.spec.arch,
+                    self.cluster.machine.spec.os_name):
+                outcome.ok = False
+                outcome.detail = (f"class {class_obj.name!r} has no "
+                                  f"implementation for the local cluster")
+                break
+            for _i in range(request.count):
+                placement = Placement(host_loid=self.cluster.loid,
+                                      vault_loid=vaults[0])
+                try:
+                    result = self.transport.invoke(
+                        self.location, self.cluster.location,
+                        class_obj.create_instance, placement,
+                        now=self.transport.sim.now, label="qsub")
+                except LegionError as exc:
+                    outcome.ok = False
+                    outcome.detail = str(exc)
+                    break
+                if not result.ok:
+                    outcome.ok = False
+                    outcome.detail = result.reason
+                    break
+                outcome.created.append(result.loid)
+            if not outcome.ok:
+                break
+        outcome.messages = self.transport.messages_sent - msgs_before
+        outcome.elapsed = self.transport.sim.now - start
+        return outcome

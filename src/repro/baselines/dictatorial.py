@@ -1,0 +1,101 @@
+"""A dictatorial (autonomy-blind) scheduler baseline.
+
+"Scheduling in Legion is never of a dictatorial nature; requests are made of
+resource guardians, who have final authority over what requests are honored"
+(section 3).  To quantify what that philosophy buys, this baseline does what
+a non-autonomous RMS would: it computes placements assuming every resource
+will obey — ignoring site policies, prices, and acceptance windows it could
+have read from the Collection — and issues direct start commands with no
+negotiation, no reservations, and no fallback.  In a metasystem whose hosts
+*do* enforce local policy, its placements simply fail wherever a guardian
+says no (E13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..collection.collection import Collection
+from ..errors import LegionError
+from ..naming.loid import LOID
+from ..net.transport import Transport
+from ..objects.class_object import Placement
+from ..scheduler.base import (
+    ObjectClassRequest,
+    Scheduler,
+    implementation_query,
+)
+
+__all__ = ["DictatorialScheduler", "DictatorialOutcome"]
+
+Resolver = Callable[[LOID], Any]
+
+
+@dataclass
+class DictatorialOutcome:
+    ok: bool
+    created: List[LOID] = field(default_factory=list)
+    refused: int = 0
+    messages: int = 0
+    elapsed: float = 0.0
+    detail: str = ""
+
+
+class DictatorialScheduler:
+    """Place by fiat; count the refusals autonomy produces."""
+
+    def __init__(self, collection: Collection, transport: Transport,
+                 resolver: Resolver, location=None,
+                 rng: Optional[np.random.Generator] = None):
+        self.collection = collection
+        self.transport = transport
+        self.resolver = resolver
+        self.location = location
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def run(self, requests: Sequence[ObjectClassRequest]
+            ) -> DictatorialOutcome:
+        start = self.transport.sim.now
+        msgs_before = self.transport.messages_sent
+        outcome = DictatorialOutcome(ok=True)
+        for request in requests:
+            class_obj = request.class_obj
+            # reads only platform viability — deliberately ignores policy,
+            # load, slots, and pricing attributes the Collection exports
+            records = self.collection.query(
+                implementation_query(class_obj.get_implementations(),
+                                     require_up=False))
+            if not records:
+                outcome.ok = False
+                outcome.detail = "no hosts known"
+                break
+            for _i in range(request.count):
+                record = records[self.rng.integers(0, len(records))]
+                vaults = Scheduler.compatible_vaults_of(record)
+                host = self.resolver(record.member)
+                if host is None or not vaults:
+                    outcome.ok = False
+                    outcome.refused += 1
+                    continue
+                placement = Placement(host_loid=record.member,
+                                      vault_loid=vaults[0])
+                try:
+                    result = self.transport.invoke(
+                        self.location, host.location,
+                        class_obj.create_instance, placement,
+                        now=self.transport.sim.now, label="command")
+                except LegionError:
+                    outcome.ok = False
+                    outcome.refused += 1
+                    continue
+                if result.ok:
+                    outcome.created.append(result.loid)
+                else:
+                    outcome.ok = False
+                    outcome.refused += 1
+        outcome.messages = self.transport.messages_sent - msgs_before
+        outcome.elapsed = self.transport.sim.now - start
+        return outcome

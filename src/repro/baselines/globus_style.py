@@ -1,0 +1,135 @@
+"""A Globus-1999-style resource broker (paper section 5).
+
+"There is a rough correspondence between Globus Resource Brokers and Legion
+Schedulers; Globus Information Services and Legion Collections; Globus
+Co-allocators and Legion Enactors; and Globus GRAMs and Legion Host Objects.
+... Globus has no intrinsic reservation support, nor do they offer support
+for schedule variation — each task in Globus is mapped to exactly one
+location."
+
+This baseline therefore: queries the information service once, maps each
+task to exactly one host, and submits *without reservations*.  On any
+failure it recomputes the whole mapping from scratch (no variants, no held
+reservations), up to ``retry_limit`` times.  E13 compares its success rate,
+messages, and time-to-placement against the Legion RMI under contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..collection.collection import Collection
+from ..errors import LegionError
+from ..naming.loid import LOID
+from ..net.topology import NetLocation
+from ..net.transport import Transport
+from ..objects.class_object import Placement
+from ..scheduler.base import (
+    ObjectClassRequest,
+    Scheduler,
+    implementation_query,
+)
+
+__all__ = ["GlobusStyleBroker", "BrokerOutcome"]
+
+Resolver = Callable[[LOID], Any]
+
+
+@dataclass
+class BrokerOutcome:
+    ok: bool
+    created: List[LOID] = field(default_factory=list)
+    attempts: int = 0
+    messages: int = 0
+    elapsed: float = 0.0
+    detail: str = ""
+
+
+class GlobusStyleBroker:
+    """One-mapping-per-task, no reservations, recompute-on-failure."""
+
+    def __init__(self, collection: Collection, transport: Transport,
+                 resolver: Resolver,
+                 location: Optional[NetLocation] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 retry_limit: int = 3):
+        self.collection = collection
+        self.transport = transport
+        self.resolver = resolver
+        self.location = location
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.retry_limit = retry_limit
+
+    def _query(self, query: str):
+        if self.collection.location is not None:
+            return self.transport.invoke(
+                self.location, self.collection.location,
+                self.collection.query, query, label="info-service")
+        return self.collection.query(query)
+
+    def _attempt(self, requests: Sequence[ObjectClassRequest]
+                 ) -> BrokerOutcome:
+        created: List[LOID] = []
+        for request in requests:
+            class_obj = request.class_obj
+            records = self._query(
+                implementation_query(class_obj.get_implementations()))
+            if not records:
+                return BrokerOutcome(False, created=created,
+                                     detail="no viable hosts")
+            for _i in range(request.count):
+                record = records[self.rng.integers(0, len(records))]
+                vaults = Scheduler.compatible_vaults_of(record)
+                host = self.resolver(record.member)
+                if host is None or not vaults:
+                    return BrokerOutcome(False, created=created,
+                                         detail="unusable host record")
+                placement = Placement(host_loid=record.member,
+                                      vault_loid=vaults[0],
+                                      reservation_token=None)
+                try:
+                    result = self.transport.invoke(
+                        self.location, host.location,
+                        class_obj.create_instance, placement,
+                        now=self.transport.sim.now, label="gram-submit")
+                except LegionError as exc:
+                    return BrokerOutcome(False, created=created,
+                                         detail=str(exc))
+                if not result.ok:
+                    return BrokerOutcome(False, created=created,
+                                         detail=result.reason)
+                created.append(result.loid)
+        return BrokerOutcome(True, created=created)
+
+    def _rollback(self, created: List[LOID]) -> None:
+        for loid in created:
+            class_obj = self.resolver(loid.class_loid())
+            if class_obj is not None:
+                try:
+                    class_obj.destroy_instance(loid,
+                                               now=self.transport.sim.now)
+                except LegionError:
+                    pass
+
+    def run(self, requests: Sequence[ObjectClassRequest]) -> BrokerOutcome:
+        start = self.transport.sim.now
+        msgs_before = self.transport.messages_sent
+        last = BrokerOutcome(False)
+        for attempt in range(1, self.retry_limit + 1):
+            outcome = self._attempt(requests)
+            outcome.attempts = attempt
+            if outcome.ok:
+                outcome.messages = (self.transport.messages_sent
+                                    - msgs_before)
+                outcome.elapsed = self.transport.sim.now - start
+                return outcome
+            # no partial placements survive — recompute from scratch
+            self._rollback(outcome.created)
+            outcome.created = []
+            last = outcome
+        last.messages = self.transport.messages_sent - msgs_before
+        last.elapsed = self.transport.sim.now - start
+        return last

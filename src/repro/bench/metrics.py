@@ -1,0 +1,43 @@
+"""Shared metric helpers for the experiment suite."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..metasystem import Metasystem
+from ..scheduler.base import SchedulingOutcome
+
+__all__ = [
+    "success_rate",
+    "mean_or_nan",
+    "placement_spread",
+    "host_load_imbalance",
+]
+
+
+def success_rate(outcomes: Sequence[SchedulingOutcome]) -> float:
+    if not outcomes:
+        return float("nan")
+    return sum(1 for o in outcomes if o.ok) / len(outcomes)
+
+
+def mean_or_nan(values: Sequence[float]) -> float:
+    vals = [v for v in values if v == v]
+    return float(np.mean(vals)) if vals else float("nan")
+
+
+def placement_spread(outcome: SchedulingOutcome) -> int:
+    """Number of distinct hosts a successful placement used."""
+    if not outcome.ok or outcome.feedback is None:
+        return 0
+    return len({m.host_loid for m in outcome.feedback.reserved_entries})
+
+
+def host_load_imbalance(meta: Metasystem) -> float:
+    """Coefficient of variation of current host load averages."""
+    loads = np.array([h.machine.load_average for h in meta.hosts])
+    if loads.size == 0 or loads.mean() == 0:
+        return 0.0
+    return float(loads.std() / loads.mean())

@@ -1,0 +1,121 @@
+"""Render transport traces as ASCII sequence diagrams.
+
+The Tracer already records every ``net/invoke`` with source, destination,
+label, and round-trip time; :func:`render_sequence` turns a slice of those
+records into the classic lifeline diagram — the Fig. 3 protocol, drawn
+from an actual run:
+
+.. code-block:: text
+
+    scheduler        collection      dom0/ws1        dom0/ws2
+        |--QueryCollection-->|            |               |
+        |<-------0.8ms-------|            |               |
+        |--make_reservation[0]----------->|               |
+        |--make_reservation[1]----------------------------->|
+        ...
+
+Used by ``legion-sim run --trace`` and handy in notebooks/debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..sim.tracing import TraceRecord, Tracer
+
+__all__ = ["render_sequence", "protocol_trace"]
+
+
+def _short(endpoint: str) -> str:
+    """Compact an endpoint name ('None' becomes 'client')."""
+    if endpoint in ("None", "", None):
+        return "client"
+    return str(endpoint)
+
+
+def render_sequence(records: Iterable[TraceRecord],
+                    max_label: int = 28,
+                    column_width: int = 16) -> str:
+    """Render ``net/invoke`` trace records as a sequence diagram."""
+    invokes = [r for r in records
+               if r.category == "net" and r.event == "invoke"]
+    if not invokes:
+        return "(no invocations recorded)"
+
+    # lifelines, in order of first appearance
+    parties: List[str] = []
+    for rec in invokes:
+        for endpoint in (_short(rec.details.get("src")),
+                         _short(rec.details.get("dst"))):
+            if endpoint not in parties:
+                parties.append(endpoint)
+    width = max(column_width,
+                max(len(p) for p in parties) + 2)
+    col = {p: i for i, p in enumerate(parties)}
+
+    def lifeline_row(fill: str = " ", marker: str = "|") -> List[str]:
+        row = [fill] * (width * len(parties))
+        for p, i in col.items():
+            row[i * width + width // 2] = marker
+        return row
+
+    lines: List[str] = []
+    # header
+    header = ""
+    for p in parties:
+        header += p.center(width)
+    lines.append(header.rstrip())
+
+    for rec in invokes:
+        src = _short(rec.details.get("src"))
+        dst = _short(rec.details.get("dst"))
+        label = str(rec.details.get("label", ""))[:max_label]
+        rtt = rec.details.get("rtt")
+        note = f"{label} ({float(rtt) * 1e3:.1f}ms)" if rtt is not None \
+            else label
+        a, b = col[src], col[dst]
+        row = lifeline_row()
+        left, right = min(a, b), max(a, b)
+        start = left * width + width // 2
+        end = right * width + width // 2
+        if a == b:
+            # self-call
+            row[start] = "|"
+            text = " " + note
+            for j, ch in enumerate(text):
+                pos = start + 1 + j
+                if pos < len(row):
+                    row[pos] = ch
+        else:
+            for pos in range(start + 1, end):
+                row[pos] = "-"
+            if a < b:
+                row[end - 1] = ">"
+            else:
+                row[start + 1] = "<"
+            # centred label, truncated (with ellipsis) to the arrow span
+            avail = max(end - start - 3, 0)
+            display = note
+            if len(display) > avail:
+                display = (note[: max(avail - 1, 0)] + "~") if avail > 1 \
+                    else ""
+            first = start + 1 + max((avail - len(display)) // 2, 0)
+            if a >= b:
+                first += 1  # keep the '<' arrowhead visible
+            for j, ch in enumerate(display):
+                pos = first + j
+                if start < pos < end - 1:
+                    row[pos] = ch
+        lines.append("".join(row).rstrip())
+        lines.append("".join(lifeline_row()).rstrip())
+    return "\n".join(lines)
+
+
+def protocol_trace(tracer: Tracer, since: float = 0.0,
+                   limit: Optional[int] = None) -> str:
+    """Sequence diagram of a tracer's invocations at/after ``since``."""
+    records = [r for r in tracer.select("net", "invoke")
+               if r.time >= since]
+    if limit is not None:
+        records = records[:limit]
+    return render_sequence(records)

@@ -1,0 +1,14 @@
+"""The Collection subsystem: the information database, its query language,
+and the Data Collection Daemon."""
+
+from .collection import Collection, Credential
+from .daemon import DataCollectionDaemon
+from .indexing import IndexedCollection
+from .records import CollectionRecord
+from .query import QueryFunctions, UNDEFINED, evaluate, matches, parse
+
+__all__ = [
+    "Collection", "IndexedCollection", "Credential", "CollectionRecord",
+    "DataCollectionDaemon",
+    "parse", "evaluate", "matches", "QueryFunctions", "UNDEFINED",
+]

@@ -1,0 +1,251 @@
+"""The Collection: the RMI's information database (paper section 3.2).
+
+"The Collection acts as a repository for information describing the state of
+the resources comprising the system.  Each record is stored as a set of
+Legion object attributes. ... Collections provide methods to join (with an
+optional installment of initial descriptive information) and update records,
+thus facilitating a push model for data.  The security facilities of Legion
+authenticate the caller to be sure that it is allowed to update the data in
+the Collection.  As noted earlier, Collections may also pull data from
+resources.  Users, or their agents, obtain information about resources by
+issuing queries to a Collection."
+
+Security model: joining yields an opaque HMAC credential bound to the member
+LOID; updates and leaves must present it (unless the Collection is built
+with ``require_auth=False`` for closed experiments).
+
+Function injection (the planned extension the paper describes, needed for
+Network-Weather-Service-style prediction) is implemented two ways:
+
+* **injected query functions** — callable from query text,
+  e.g. ``predicted_load($host_load) < 2``;
+* **computed attributes** — virtual record fields evaluated at query time,
+  e.g. ``$predicted_load < 2`` after ``inject_attribute("predicted_load",
+  fn)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..errors import AuthenticationError, NotAMemberError
+from ..naming.loid import LOID
+from ..net.topology import NetLocation
+from ..objects.base import LegionObject
+from .query.ast import Node
+from .query.evaluate import QueryFunctions, matches
+from .query.parser import parse
+from .records import CollectionRecord
+
+__all__ = ["Collection", "Credential"]
+
+
+class Credential:
+    """Opaque capability authorizing updates to one member's record."""
+
+    __slots__ = ("member", "_mac")
+
+    def __init__(self, member: LOID, mac: bytes):
+        self.member = member
+        self._mac = mac
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Credential for {self.member}>"
+
+
+class _RecordView(Mapping):
+    """Read-only mapping over a record's attributes, layering the
+    Collection's computed attributes and the implicit ``loid`` field."""
+
+    def __init__(self, record: CollectionRecord,
+                 computed: Dict[str, Callable[[Mapping], Any]]):
+        self._record = record
+        self._computed = computed
+
+    def __getitem__(self, key: str) -> Any:
+        if key == "loid":
+            return str(self._record.member)
+        if key in self._record.attributes:
+            return self._record.attributes[key]
+        fn = self._computed.get(key)
+        if fn is not None:
+            return fn(self._record.attributes)
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __iter__(self):
+        yield "loid"
+        yield from self._record.attributes
+        for k in self._computed:
+            if k not in self._record.attributes:
+                yield k
+
+    def __len__(self) -> int:
+        return 1 + len(self._record.attributes) + sum(
+            1 for k in self._computed
+            if k not in self._record.attributes)
+
+
+class Collection(LegionObject):
+    """An attribute-record database with the Fig. 4 interface."""
+
+    def __init__(self, loid: LOID, location: Optional[NetLocation] = None,
+                 require_auth: bool = True,
+                 clock: Optional[Callable[[], float]] = None):
+        super().__init__(loid)
+        self.location = location
+        self.require_auth = require_auth
+        self._clock = clock or (lambda: 0.0)
+        self._records: Dict[LOID, CollectionRecord] = {}
+        self._secret = os.urandom(16)
+        self.functions = QueryFunctions()
+        self._computed: Dict[str, Callable[[Mapping], Any]] = {}
+        self._ast_cache: Dict[str, Node] = {}
+        self.queries_served = 0
+        self.updates_applied = 0
+        self.auth_failures = 0
+
+    # -- credentials ---------------------------------------------------------
+    def _mac_for(self, member: LOID) -> bytes:
+        return hmac.new(self._secret, str(member).encode("utf-8"),
+                        hashlib.sha256).digest()
+
+    def _authenticate(self, member: LOID,
+                      credential: Optional[Credential]) -> None:
+        if not self.require_auth:
+            return
+        if (credential is None or credential.member != member
+                or not hmac.compare_digest(credential._mac,
+                                           self._mac_for(member))):
+            self.auth_failures += 1
+            raise AuthenticationError(
+                f"caller is not authorized to modify the record of "
+                f"{member}")
+
+    # -- the Fig. 4 interface ---------------------------------------------------
+    def join(self, joiner: LOID,
+             attributes: Optional[Mapping[str, Any]] = None) -> Credential:
+        """JoinCollection — with optional initial descriptive information.
+
+        Joining an existing member refreshes its record.  Returns the
+        credential required for future updates.
+        """
+        now = self._clock()
+        record = self._records.get(joiner)
+        if record is None:
+            record = CollectionRecord(member=joiner, joined_at=now,
+                                      updated_at=now)
+            self._records[joiner] = record
+        if attributes:
+            record.apply_update(attributes, now)
+        return Credential(joiner, self._mac_for(joiner))
+
+    def leave(self, leaver: LOID,
+              credential: Optional[Credential] = None) -> None:
+        """LeaveCollection."""
+        if leaver not in self._records:
+            raise NotAMemberError(f"{leaver} is not a member")
+        self._authenticate(leaver, credential)
+        del self._records[leaver]
+
+    def update_entry(self, member: LOID, attributes: Mapping[str, Any],
+                     credential: Optional[Credential] = None) -> None:
+        """UpdateCollectionEntry — the push model's data path."""
+        record = self._records.get(member)
+        if record is None:
+            raise NotAMemberError(f"{member} is not a member")
+        self._authenticate(member, credential)
+        record.apply_update(attributes, self._clock())
+        self.updates_applied += 1
+
+    def query(self, query: str) -> List[CollectionRecord]:
+        """QueryCollection — records whose attributes satisfy the query.
+
+        Matching is evaluated over each record's attribute snapshot plus any
+        injected computed attributes; results are returned in deterministic
+        (LOID-sorted) order.
+        """
+        ast = self._ast_cache.get(query)
+        if ast is None:
+            ast = parse(query)
+            self._ast_cache[query] = ast
+        self.queries_served += 1
+        out: List[CollectionRecord] = []
+        for member in sorted(self._records):
+            record = self._records[member]
+            view = _RecordView(record, self._computed)
+            if matches(ast, view, self.functions):
+                out.append(record)
+        return out
+
+    def query_loids(self, query: str) -> List[LOID]:
+        return [r.member for r in self.query(query)]
+
+    # -- pull model ----------------------------------------------------------------
+    def pull_from(self, source: Any) -> None:
+        """Pull fresh attributes directly from a resource object.
+
+        ``source`` must expose ``loid`` and an ``attributes`` database (all
+        Legion objects do).  Non-members are auto-joined: the pull path is
+        Collection-initiated and trusted.
+        """
+        now = self._clock()
+        record = self._records.get(source.loid)
+        if record is None:
+            record = CollectionRecord(member=source.loid, joined_at=now,
+                                      updated_at=now)
+            self._records[source.loid] = record
+        record.apply_update(source.attributes.snapshot(), now)
+        self.updates_applied += 1
+
+    # -- function injection ------------------------------------------------------
+    def inject_function(self, name: str,
+                        fn: Callable[[List[Any], Mapping[str, Any]], Any]
+                        ) -> None:
+        """Install a query-callable function (section 3.2 extension)."""
+        self.functions.register(name, fn)
+
+    def inject_attribute(self, name: str,
+                         fn: Callable[[Mapping[str, Any]], Any]) -> None:
+        """Install a computed attribute visible to queries as ``$name``."""
+        if not callable(fn):
+            raise TypeError("computed attribute requires a callable")
+        self._computed[name] = fn
+
+    def record_attr(self, record: CollectionRecord, name: str,
+                    default: Any = None) -> Any:
+        """An attribute value with this Collection's computed attributes
+        layered in — what a query's ``$name`` would see for ``record``."""
+        return _RecordView(record, self._computed).get(name, default)
+
+    # -- introspection -------------------------------------------------------------
+    def members(self) -> List[LOID]:
+        return sorted(self._records)
+
+    def record_of(self, member: LOID) -> CollectionRecord:
+        record = self._records.get(member)
+        if record is None:
+            raise NotAMemberError(f"{member} is not a member")
+        return record
+
+    def mean_staleness(self, now: Optional[float] = None) -> float:
+        """Average record age — the E6 staleness metric."""
+        if not self._records:
+            return float("nan")
+        t = self._clock() if now is None else now
+        ages = [r.staleness(t) for r in self._records.values()]
+        return sum(ages) / len(ages)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, member: LOID) -> bool:
+        return member in self._records

@@ -1,0 +1,77 @@
+"""The Data Collection Daemon.
+
+Paper section 3.2, footnote 4: "We are implementing an intermediate agent,
+the Data Collection Daemon, which pulls data from Hosts and pushes it into
+Collections."  The daemon decouples resource objects from Collection
+placement: hosts need not know where Collections live, and the daemon's
+sweep interval gives the experimenter a single knob for information
+staleness (experiment E6 compares push / pull / daemon freshness).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.kernel import Simulator
+from .collection import Collection
+
+__all__ = ["DataCollectionDaemon"]
+
+
+class DataCollectionDaemon:
+    """Periodically pulls attributes from sources and pushes to Collections."""
+
+    def __init__(self, sim: Simulator, collections: Sequence[Collection],
+                 interval: float = 60.0, jitter: float = 0.0,
+                 rng=None):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.collections: List[Collection] = list(collections)
+        self.interval = interval
+        self.jitter = jitter
+        self._rng = rng
+        self._sources: List = []
+        self._credentials = {}
+        self.sweeps = 0
+        self._running = False
+
+    def watch(self, source) -> None:
+        """Add a resource object (host, vault) to the pull set."""
+        self._sources.append(source)
+        for coll in self.collections:
+            self._credentials[(id(coll), source.loid)] = coll.join(
+                source.loid, source.attributes.snapshot())
+
+    def sweep(self) -> None:
+        """One pull-all/push-all pass."""
+        for source in self._sources:
+            snapshot = source.attributes.snapshot()
+            for coll in self.collections:
+                cred = self._credentials.get((id(coll), source.loid))
+                if cred is None:
+                    cred = coll.join(source.loid, snapshot)
+                    self._credentials[(id(coll), source.loid)] = cred
+                else:
+                    coll.update_entry(source.loid, snapshot, cred)
+        self.sweeps += 1
+
+    def start(self) -> None:
+        """Begin periodic sweeps on the simulator."""
+        if self._running:
+            return
+        self._running = True
+
+        def tick():
+            if not self._running:
+                return
+            self.sweep()
+            delay = self.interval
+            if self.jitter > 0 and self._rng is not None:
+                delay += float(self._rng.uniform(0, self.jitter))
+            self.sim.schedule(delay, tick)
+
+        self.sim.schedule(self.interval, tick)
+
+    def stop(self) -> None:
+        self._running = False

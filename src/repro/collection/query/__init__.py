@@ -1,0 +1,13 @@
+"""The Collection query language: lexer, parser, AST, and evaluator."""
+
+from .ast import And, Arith, Attr, Call, Compare, Literal, Node, Not, Or
+from .evaluate import UNDEFINED, QueryFunctions, evaluate, matches
+from .lexer import Token, tokenize
+from .parser import parse
+
+__all__ = [
+    "parse", "tokenize", "Token",
+    "evaluate", "matches", "QueryFunctions", "UNDEFINED",
+    "Node", "Or", "And", "Not", "Compare", "Arith", "Call", "Attr",
+    "Literal",
+]

@@ -1,0 +1,109 @@
+"""AST node types for the Collection query grammar.
+
+The grammar reproduces the MESSIAHS-derived query language the paper cites
+(section 3.2): logical expressions over record attributes with field
+matching, semantic comparisons, and boolean combination; identifiers are of
+the form ``$AttributeName``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = ["Node", "Or", "And", "Not", "Compare", "Arith", "Call", "Attr",
+           "Literal"]
+
+
+class Node:
+    """Base query AST node."""
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} or {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class And(Node):
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} and {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    operand: Node
+
+    def unparse(self) -> str:
+        return f"(not {self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class Compare(Node):
+    """A semantic comparison: ==, !=, <, <=, >, >=."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class Arith(Node):
+    """An arithmetic expression: +, -, *, /."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    """A built-in or injected function call, e.g. ``match(...)``."""
+
+    name: str
+    args: Tuple[Node, ...]
+
+    def unparse(self) -> str:
+        inner = ", ".join(a.unparse() for a in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Attr(Node):
+    """An attribute reference: ``$AttributeName``."""
+
+    name: str
+
+    def unparse(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A string, number, or boolean literal."""
+
+    value: Any
+
+    def unparse(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return repr(self.value)

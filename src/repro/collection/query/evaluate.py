@@ -1,0 +1,272 @@
+"""Evaluator for Collection query ASTs.
+
+Semantics
+---------
+* ``$attr`` resolves against the record's attribute snapshot; a missing
+  attribute yields the ``UNDEFINED`` sentinel.  Any comparison or function
+  over UNDEFINED is false (except ``defined()``), so records lacking a field
+  simply fail to match — they never raise.
+* List-valued attributes match existentially: ``$compatible_archs == "x86"``
+  holds if any element equals ``"x86"``.
+* ``match(regex, value)`` applies the regex (Python :mod:`re`, standing in
+  for the Unix ``regexp()`` library the paper used) with *search* semantics.
+  The paper's own text is inconsistent about argument order (its footnote 5
+  corrects its first example), so when exactly one argument is a string
+  literal and the other an attribute, the literal is taken as the regex —
+  both of the paper's example forms therefore work.
+* Numeric comparisons coerce int/float/bool; string comparisons are exact.
+  Cross-type comparisons are false rather than errors.
+
+Injected functions (section 3.2 "function injection") receive the evaluated
+arguments plus the whole record and may compute new description information
+on the fly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ...errors import QueryEvaluationError
+from .ast import And, Arith, Attr, Call, Compare, Literal, Node, Not, Or
+
+__all__ = ["UNDEFINED", "evaluate", "matches", "QueryFunctions"]
+
+
+class _Undefined:
+    """Sentinel for a missing attribute."""
+
+    _instance: Optional["_Undefined"] = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNDEFINED"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = _Undefined()
+
+#: signature of an injected function: (args, record_attributes) -> value
+InjectedFn = Callable[[List[Any], Mapping[str, Any]], Any]
+
+
+class QueryFunctions:
+    """Registry of callable query functions (built-ins + injected)."""
+
+    def __init__(self) -> None:
+        self._fns: Dict[str, InjectedFn] = {}
+        self.register("match", _fn_match)
+        self.register("defined", _fn_defined)
+        self.register("contains", _fn_contains)
+        self.register("oneof", _fn_oneof)
+
+    def register(self, name: str, fn: InjectedFn) -> None:
+        if not callable(fn):
+            raise TypeError(f"injected function {name!r} must be callable")
+        self._fns[name] = fn
+
+    def unregister(self, name: str) -> None:
+        self._fns.pop(name, None)
+
+    def get(self, name: str) -> InjectedFn:
+        fn = self._fns.get(name)
+        if fn is None:
+            raise QueryEvaluationError(f"unknown query function {name!r}")
+        return fn
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fns
+
+
+# ---------------------------------------------------------------------------
+# built-in functions
+# ---------------------------------------------------------------------------
+
+_REGEX_CACHE: Dict[str, re.Pattern] = {}
+
+
+def _compiled(pattern: str) -> re.Pattern:
+    pat = _REGEX_CACHE.get(pattern)
+    if pat is None:
+        try:
+            pat = re.compile(pattern)
+        except re.error as err:
+            raise QueryEvaluationError(
+                f"bad regular expression {pattern!r}: {err}") from None
+        _REGEX_CACHE[pattern] = pat
+    return pat
+
+
+def _fn_match(args: List[Any], record: Mapping[str, Any]) -> bool:
+    if len(args) != 2:
+        raise QueryEvaluationError(
+            f"match() takes 2 arguments, got {len(args)}")
+    a, b = args
+    if a is UNDEFINED or b is UNDEFINED:
+        return False
+    # Footnote-5 rule: the first argument is the regex.  (The literal/attr
+    # reordering for the paper's older example form happens in evaluate().)
+    regex, value = a, b
+    pattern = _compiled(str(regex))
+    if isinstance(value, list):
+        return any(pattern.search(str(v)) is not None for v in value)
+    return pattern.search(str(value)) is not None
+
+
+def _fn_defined(args: List[Any], record: Mapping[str, Any]) -> bool:
+    if len(args) != 1:
+        raise QueryEvaluationError(
+            f"defined() takes 1 argument, got {len(args)}")
+    return args[0] is not UNDEFINED
+
+
+def _fn_contains(args: List[Any], record: Mapping[str, Any]) -> bool:
+    if len(args) != 2:
+        raise QueryEvaluationError(
+            f"contains() takes 2 arguments, got {len(args)}")
+    haystack, needle = args
+    if haystack is UNDEFINED or needle is UNDEFINED:
+        return False
+    if isinstance(haystack, list):
+        return any(_loose_eq(v, needle) for v in haystack)
+    if isinstance(haystack, str):
+        return str(needle) in haystack
+    return False
+
+
+def _fn_oneof(args: List[Any], record: Mapping[str, Any]) -> bool:
+    if len(args) < 2:
+        raise QueryEvaluationError("oneof() takes a value plus candidates")
+    value, candidates = args[0], args[1:]
+    if value is UNDEFINED:
+        return False
+    return any(_loose_eq(value, c) for c in candidates)
+
+
+# ---------------------------------------------------------------------------
+# comparison semantics
+# ---------------------------------------------------------------------------
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool) or \
+        isinstance(v, bool)
+
+
+def _loose_eq(a: Any, b: Any) -> bool:
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    if _is_number(a) and _is_number(b):
+        return float(a) == float(b)
+    return a == b if type(a) is type(b) else False
+
+
+def _compare_scalar(op: str, a: Any, b: Any) -> bool:
+    if a is UNDEFINED or b is UNDEFINED:
+        return False
+    if op == "==":
+        return _loose_eq(a, b)
+    if op == "!=":
+        return not _loose_eq(a, b)
+    # ordering comparisons
+    if isinstance(a, str) and isinstance(b, str):
+        pass  # lexicographic
+    elif _is_number(a) and _is_number(b):
+        a, b = float(a), float(b)
+    else:
+        return False
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise QueryEvaluationError(f"unknown comparison operator {op!r}")
+
+
+def _compare(op: str, a: Any, b: Any) -> bool:
+    """Existential semantics over list-valued sides."""
+    a_list = a if isinstance(a, list) else [a]
+    b_list = b if isinstance(b, list) else [b]
+    return any(_compare_scalar(op, x, y) for x in a_list for y in b_list)
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+# ---------------------------------------------------------------------------
+
+def evaluate(node: Node, record: Mapping[str, Any],
+             functions: Optional[QueryFunctions] = None) -> Any:
+    """Evaluate a query AST against one record's attribute mapping."""
+    fns = functions or _DEFAULT_FUNCTIONS
+
+    def ev(n: Node) -> Any:
+        if isinstance(n, Literal):
+            return n.value
+        if isinstance(n, Attr):
+            return record.get(n.name, UNDEFINED)
+        if isinstance(n, Or):
+            return _truthy(ev(n.left)) or _truthy(ev(n.right))
+        if isinstance(n, And):
+            return _truthy(ev(n.left)) and _truthy(ev(n.right))
+        if isinstance(n, Not):
+            return not _truthy(ev(n.operand))
+        if isinstance(n, Compare):
+            return _compare(n.op, ev(n.left), ev(n.right))
+        if isinstance(n, Arith):
+            return _arith(n.op, ev(n.left), ev(n.right))
+        if isinstance(n, Call):
+            if n.name == "match" and len(n.args) == 2:
+                # argument-order leniency: if exactly one arg is a string
+                # literal, it is the regex regardless of position
+                a0, a1 = n.args
+                lit0 = isinstance(a0, Literal) and isinstance(a0.value, str)
+                lit1 = isinstance(a1, Literal) and isinstance(a1.value, str)
+                if lit1 and not lit0:
+                    return fns.get("match")([ev(a1), ev(a0)], record)
+            args = [ev(a) for a in n.args]
+            return fns.get(n.name)(args, record)
+        raise QueryEvaluationError(f"cannot evaluate node {n!r}")
+
+    return ev(node)
+
+
+def _arith(op: str, a: Any, b: Any) -> Any:
+    """Numeric arithmetic; anything non-numeric (or division by zero)
+    yields UNDEFINED, which downstream comparisons treat as no-match."""
+    if not (_is_number(a) and _is_number(b)):
+        return UNDEFINED
+    a, b = float(a), float(b)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if b == 0.0:
+            return UNDEFINED
+        return a / b
+    raise QueryEvaluationError(f"unknown arithmetic operator {op!r}")
+
+
+def _truthy(value: Any) -> bool:
+    if value is UNDEFINED:
+        return False
+    return bool(value)
+
+
+def matches(node: Node, record: Mapping[str, Any],
+            functions: Optional[QueryFunctions] = None) -> bool:
+    """Boolean form of :func:`evaluate`."""
+    return _truthy(evaluate(node, record, functions))
+
+
+_DEFAULT_FUNCTIONS = QueryFunctions()

@@ -1,0 +1,155 @@
+"""Tokenizer for the Collection query grammar."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ...errors import QuerySyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+KEYWORDS = {"and", "or", "not", "true", "false"}
+OPERATORS = ("==", "!=", "<=", ">=", "<", ">", "=")
+PUNCT = {"(": "LPAREN", ")": "RPAREN", ",": "COMMA"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str     # AND OR NOT BOOL ATTR IDENT STRING NUMBER OP LPAREN RPAREN COMMA EOF
+    text: str
+    value: object
+    pos: int
+
+
+def _ident_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _ident_char(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a query string; raises QuerySyntaxError on bad input."""
+    if not isinstance(source, str):
+        raise QuerySyntaxError(f"query must be a string, got "
+                               f"{type(source).__name__}")
+    tokens: List[Token] = []
+    i, n = 0, len(source)
+    while i < n:
+        c = source[i]
+        if c.isspace():
+            i += 1
+            continue
+        if c in PUNCT:
+            tokens.append(Token(PUNCT[c], c, c, i))
+            i += 1
+            continue
+        # operators (two-char first)
+        matched_op = None
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op is not None:
+            canon = "==" if matched_op == "=" else matched_op
+            tokens.append(Token("OP", canon, canon, i))
+            i += len(matched_op)
+            continue
+        if c == "$":
+            j = i + 1
+            if j >= n or not _ident_start(source[j]):
+                raise QuerySyntaxError(
+                    f"bad attribute reference at position {i}")
+            while j < n and _ident_char(source[j]):
+                j += 1
+            tokens.append(Token("ATTR", source[i:j], source[i + 1:j], i))
+            i = j
+            continue
+        if c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            buf = []
+            while j < n:
+                ch = source[j]
+                if ch == "\\":
+                    if j + 1 >= n:
+                        raise QuerySyntaxError(
+                            f"dangling escape at position {j}")
+                    nxt = source[j + 1]
+                    # pass regex escapes through; unescape quote/backslash
+                    if nxt in (quote, "\\"):
+                        buf.append(nxt)
+                    else:
+                        buf.append("\\")
+                        buf.append(nxt)
+                    j += 2
+                    continue
+                if ch == quote:
+                    break
+                buf.append(ch)
+                j += 1
+            else:
+                raise QuerySyntaxError(
+                    f"unterminated string starting at position {i}")
+            tokens.append(Token("STRING", source[i:j + 1], "".join(buf), i))
+            i = j + 1
+            continue
+        if c.isdigit() or (c in "+-" and i + 1 < n
+                           and (source[i + 1].isdigit()
+                                or source[i + 1] == ".")):
+            j = i + 1 if c in "+-" else i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                ch = source[j]
+                if ch.isdigit():
+                    j += 1
+                elif ch == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif ch in "eE" and not seen_exp and j + 1 < n:
+                    k = j + 1
+                    if source[k] in "+-":
+                        k += 1
+                    if k < n and source[k].isdigit():
+                        seen_exp = True
+                        j = k
+                    else:
+                        break
+                else:
+                    break
+            text = source[i:j]
+            try:
+                value = float(text) if (seen_dot or seen_exp) else int(text)
+            except ValueError:
+                raise QuerySyntaxError(
+                    f"bad number {text!r} at position {i}") from None
+            tokens.append(Token("NUMBER", text, value, i))
+            i = j
+            continue
+        if c in "+-*/":
+            # arithmetic operator (signed literals were consumed above, so
+            # `-` here is binary/unary-in-expression: write `$a - 1`, not
+            # `$a -1`)
+            tokens.append(Token("ARITH", c, c, i))
+            i += 1
+            continue
+        if _ident_start(c):
+            j = i
+            while j < n and _ident_char(source[j]):
+                j += 1
+            word = source[i:j]
+            low = word.lower()
+            if low in ("and", "or", "not"):
+                tokens.append(Token(low.upper(), word, low, i))
+            elif low in ("true", "false"):
+                tokens.append(Token("BOOL", word, low == "true", i))
+            else:
+                tokens.append(Token("IDENT", word, word, i))
+            i = j
+            continue
+        raise QuerySyntaxError(f"unexpected character {c!r} at position {i}")
+    tokens.append(Token("EOF", "", None, n))
+    return tokens

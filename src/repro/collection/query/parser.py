@@ -1,0 +1,149 @@
+"""Recursive-descent parser for the Collection query grammar.
+
+Grammar (lowest precedence first)::
+
+    query      := or_expr EOF
+    or_expr    := and_expr ( 'or' and_expr )*
+    and_expr   := not_expr ( 'and' not_expr )*
+    not_expr   := 'not' not_expr | comparison
+    comparison := sum ( ('==' | '!=' | '<' | '<=' | '>' | '>=') sum )?
+    sum        := term ( ('+' | '-') term )*
+    term       := value ( ('*' | '/') value )*
+    value      := '(' or_expr ')' | ATTR | STRING | NUMBER | BOOL
+                | IDENT '(' [ or_expr (',' or_expr)* ] ')'
+
+A bare value at comparison level is allowed when it is boolean-valued
+(an attribute, a boolean literal, or a function call) — e.g. the query
+``$host_up`` or ``defined($host_price)``.  Arithmetic needs spaces around
+``-`` (``$a - 1``): ``-1`` directly after a value lexes as a signed
+literal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...errors import QuerySyntaxError
+from .ast import And, Arith, Attr, Call, Compare, Literal, Node, Not, Or
+from .lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+_COMPARE_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.current
+        if tok.kind != kind:
+            raise QuerySyntaxError(
+                f"expected {kind} but found {tok.kind} "
+                f"({tok.text!r}) at position {tok.pos}")
+        return self.advance()
+
+    # -- grammar ------------------------------------------------------------
+    def parse_query(self) -> Node:
+        node = self.parse_or()
+        if self.current.kind != "EOF":
+            tok = self.current
+            raise QuerySyntaxError(
+                f"unexpected trailing input {tok.text!r} at position "
+                f"{tok.pos}")
+        return node
+
+    def parse_or(self) -> Node:
+        node = self.parse_and()
+        while self.current.kind == "OR":
+            self.advance()
+            node = Or(node, self.parse_and())
+        return node
+
+    def parse_and(self) -> Node:
+        node = self.parse_not()
+        while self.current.kind == "AND":
+            self.advance()
+            node = And(node, self.parse_not())
+        return node
+
+    def parse_not(self) -> Node:
+        if self.current.kind == "NOT":
+            self.advance()
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Node:
+        left = self.parse_sum()
+        if self.current.kind == "OP" and self.current.value in _COMPARE_OPS:
+            op = self.advance().value
+            right = self.parse_sum()
+            return Compare(str(op), left, right)
+        return left
+
+    def parse_sum(self) -> Node:
+        node = self.parse_term()
+        while (self.current.kind == "ARITH"
+               and self.current.value in ("+", "-")):
+            op = str(self.advance().value)
+            node = Arith(op, node, self.parse_term())
+        return node
+
+    def parse_term(self) -> Node:
+        node = self.parse_value()
+        while (self.current.kind == "ARITH"
+               and self.current.value in ("*", "/")):
+            op = str(self.advance().value)
+            node = Arith(op, node, self.parse_value())
+        return node
+
+    def parse_value(self) -> Node:
+        tok = self.current
+        if tok.kind == "LPAREN":
+            self.advance()
+            node = self.parse_or()
+            self.expect("RPAREN")
+            return node
+        if tok.kind == "ATTR":
+            self.advance()
+            return Attr(str(tok.value))
+        if tok.kind == "STRING":
+            self.advance()
+            return Literal(tok.value)
+        if tok.kind == "NUMBER":
+            self.advance()
+            return Literal(tok.value)
+        if tok.kind == "BOOL":
+            self.advance()
+            return Literal(bool(tok.value))
+        if tok.kind == "IDENT":
+            name = str(self.advance().value)
+            self.expect("LPAREN")
+            args: List[Node] = []
+            if self.current.kind != "RPAREN":
+                args.append(self.parse_or())
+                while self.current.kind == "COMMA":
+                    self.advance()
+                    args.append(self.parse_or())
+            self.expect("RPAREN")
+            return Call(name, tuple(args))
+        raise QuerySyntaxError(
+            f"unexpected {tok.kind} ({tok.text!r}) at position {tok.pos}")
+
+
+def parse(source: str) -> Node:
+    """Parse a query string into an AST; raises QuerySyntaxError."""
+    return _Parser(tokenize(source)).parse_query()

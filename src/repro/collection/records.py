@@ -1,0 +1,42 @@
+"""Collection records: per-member attribute snapshots with staleness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from ..naming.loid import LOID
+
+__all__ = ["CollectionRecord"]
+
+
+@dataclass
+class CollectionRecord:
+    """The Collection's view of one member object.
+
+    ``attributes`` is a *snapshot* pushed or pulled at ``updated_at``; it is
+    stale by construction, which is why schedules computed from Collection
+    data can fail at reservation time and the master/variant machinery
+    exists (experiments E6, E7, E10).
+    """
+
+    member: LOID
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    joined_at: float = 0.0
+    updated_at: float = 0.0
+    update_count: int = 0
+
+    def staleness(self, now: float) -> float:
+        """Seconds since this record was last refreshed."""
+        return max(0.0, now - self.updated_at)
+
+    def apply_update(self, attributes: Mapping[str, Any],
+                     now: float) -> None:
+        self.attributes.update(attributes)
+        self.updated_at = now
+        self.update_count += 1
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if name == "loid":
+            return str(self.member)
+        return self.attributes.get(name, default)

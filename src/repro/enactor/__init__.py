@@ -1,0 +1,8 @@
+"""The Enactor subsystem: reservation negotiation, variant fallback,
+co-allocation, and object instantiation."""
+
+from .coallocation import CoAllocator, ReservationOutcome
+from .enactor import Enactor, EnactorStats, EnactResult
+
+__all__ = ["Enactor", "EnactResult", "EnactorStats",
+           "CoAllocator", "ReservationOutcome"]

@@ -1,0 +1,395 @@
+"""The Enactor: schedule implementation (paper section 3.4).
+
+Interface (Fig. 6)::
+
+    LegionScheduleFeedback  make_reservations(LegionScheduleList)
+    int                     cancel_reservations(LegionScheduleRequestList)
+    LegionScheduleRequestList enact_schedule(LegionScheduleRequestList)
+
+Behaviour reproduced:
+
+* master schedules are tried in order; "if all mappings in the master
+  schedule succeed, then scheduling is complete.  If not, then a variant
+  schedule is selected that contains a new entry for the failed mapping";
+* variant selection uses the per-variant **bitmap** so the Enactor can
+  "efficiently select the next variant schedule to try";
+* "Our default Schedulers and Enactor work together to structure the
+  variant schedules so as to avoid **reservation thrashing** (the canceling
+  and subsequent remaking of the same reservation)" — when switching to a
+  variant, reservations already held are kept unless the variant names a
+  different target for that entry.  The ``naive_variant_handling`` flag
+  disables this (cancel everything, re-reserve the whole variant) for the
+  E7 ablation, and :attr:`EnactorStats.thrash_count` counts remakes of a
+  previously cancelled identical reservation;
+* co-allocation across domains runs through
+  :class:`~repro.enactor.coallocation.CoAllocator` (parallel negotiation);
+* "k out of n" masters (``required_k``) succeed once k reservations hold,
+  cancelling the surplus;
+* after reservations succeed, the Scheduler confirms (simply by calling
+  :meth:`enact_schedule`) and the Enactor instantiates objects through
+  ``create_instance`` on the Class objects with directed placement, returning
+  per-entry success/failure codes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import EnactmentError, MalformedScheduleError
+from ..hosts.reservations import (
+    INSTANTANEOUS,
+    ReservationToken,
+    ReservationType,
+    REUSABLE_TIME,
+)
+from ..naming.loid import LOID
+from ..net.topology import NetLocation
+from ..net.transport import Call, Transport
+from ..objects.class_object import ClassObject, CreateResult, Placement
+from ..schedule.mapping import ScheduleMapping
+from ..schedule.schedule import (
+    FailureKind,
+    MasterSchedule,
+    ScheduleFeedback,
+    ScheduleRequestList,
+    VariantSchedule,
+)
+from ..sim.tracing import Tracer
+from .coallocation import CoAllocator, ReservationOutcome
+
+__all__ = ["Enactor", "EnactResult", "EnactorStats"]
+
+Resolver = Callable[[LOID], Any]
+
+
+@dataclass
+class EnactorStats:
+    """Counters for the E7/E8 experiments."""
+
+    reservation_requests: int = 0
+    reservations_granted: int = 0
+    cancellations: int = 0
+    #: cancel-then-remake of an identical (host, vault, class) reservation
+    thrash_count: int = 0
+    variant_attempts: int = 0
+    master_attempts: int = 0
+    enactments: int = 0
+    enact_failures: int = 0
+
+
+@dataclass
+class _Holding:
+    mapping: ScheduleMapping
+    token: ReservationToken
+
+
+class _ReservationSet:
+    """Opaque handle carried in ScheduleFeedback.reservation_handle."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, master_index: int,
+                 entries: List[Tuple[int, ScheduleMapping]],
+                 holdings: Dict[int, _Holding]):
+        self.handle_id = next(self._ids)
+        self.master_index = master_index
+        self.entries = entries          # [(master entry index, mapping)]
+        self.holdings = holdings        # index -> holding
+        self.enacted = False
+
+
+@dataclass
+class EnactResult:
+    """Outcome of enact_schedule: per-entry instance creation reports."""
+
+    ok: bool
+    created: List[LOID] = field(default_factory=list)
+    entry_results: Dict[int, CreateResult] = field(default_factory=dict)
+    detail: str = ""
+
+
+class Enactor:
+    """Negotiates reservations for schedules and instantiates objects."""
+
+    def __init__(self, transport: Transport, resolver: Resolver,
+                 location: Optional[NetLocation] = None,
+                 tracer: Optional[Tracer] = None,
+                 requester_domain: str = "",
+                 offered_price: float = 0.0,
+                 naive_variant_handling: bool = False,
+                 sequential_coallocation: bool = False,
+                 max_variant_attempts: int = 32):
+        self.transport = transport
+        self.resolver = resolver
+        self.location = location
+        self.tracer = tracer if tracer is not None else transport.tracer
+        self.coallocator = CoAllocator(
+            transport, resolver, src=location,
+            requester_domain=requester_domain,
+            offered_price=offered_price,
+            sequential=sequential_coallocation)
+        self.naive_variant_handling = naive_variant_handling
+        self.max_variant_attempts = max_variant_attempts
+        self.stats = EnactorStats()
+        self._cancelled_targets: set = set()
+
+    # ------------------------------------------------------------------
+    # make_reservations
+    # ------------------------------------------------------------------
+    def make_reservations(self, request: ScheduleRequestList,
+                          rtype: ReservationType = REUSABLE_TIME,
+                          duration: float = 3600.0,
+                          start_time: float = INSTANTANEOUS,
+                          timeout: float = 120.0) -> ScheduleFeedback:
+        """Try each master schedule (with its variants) until one holds."""
+        if not isinstance(request, ScheduleRequestList):
+            raise MalformedScheduleError(
+                f"make_reservations needs a ScheduleRequestList, got "
+                f"{type(request).__name__}")
+        self._cancelled_targets = set()
+        last_errors: Dict[int, str] = {}
+        last_detail = ""
+        for m_idx, master in enumerate(request.masters):
+            self.stats.master_attempts += 1
+            feedback = self._try_master(request, m_idx, master, rtype,
+                                        duration, start_time, timeout)
+            if feedback.ok:
+                self.tracer.emit("enactor", "reserved",
+                                 master=m_idx,
+                                 variant=(feedback.variant.label
+                                          if feedback.variant else None))
+                return feedback
+            last_errors = feedback.entry_errors or last_errors
+            last_detail = feedback.failure_detail or last_detail
+        detail = "all master and variant schedules failed"
+        if last_detail:
+            detail += f" (last: {last_detail})"
+        return ScheduleFeedback(
+            request=request, ok=False,
+            failure_kind=FailureKind.RESOURCES,
+            failure_detail=detail,
+            entry_errors=last_errors)
+
+    def _reserve(self, indexed: List[Tuple[int, ScheduleMapping]],
+                 rtype: ReservationType, duration: float,
+                 start_time: float, timeout: float
+                 ) -> List[ReservationOutcome]:
+        outcomes = self.coallocator.reserve_batch(
+            indexed, rtype=rtype, duration=duration,
+            start_time=start_time, timeout=timeout)
+        self.stats.reservation_requests += len(indexed)
+        for o in outcomes:
+            if o.ok:
+                self.stats.reservations_granted += 1
+                key = (o.mapping.host_loid, o.mapping.vault_loid,
+                       o.mapping.class_loid)
+                if key in self._cancelled_targets:
+                    self.stats.thrash_count += 1
+        return outcomes
+
+    def _cancel_holdings(self, holdings: Dict[int, _Holding]) -> None:
+        if not holdings:
+            return
+        pairs = [(h.mapping, h.token) for h in holdings.values()]
+        for mapping, _tok in pairs:
+            self._cancelled_targets.add(
+                (mapping.host_loid, mapping.vault_loid, mapping.class_loid))
+        self.stats.cancellations += self.coallocator.cancel_batch(pairs)
+
+    def _try_master(self, request: ScheduleRequestList, m_idx: int,
+                    master: MasterSchedule, rtype: ReservationType,
+                    duration: float, start_time: float,
+                    timeout: float) -> ScheduleFeedback:
+        entries = master.resolve()
+        indexed = list(enumerate(entries))
+        holdings: Dict[int, _Holding] = {}
+        errors: Dict[int, str] = {}
+
+        outcomes = self._reserve(indexed, rtype, duration, start_time,
+                                 timeout)
+        for o in outcomes:
+            if o.ok:
+                holdings[o.index] = _Holding(o.mapping, o.token)
+            else:
+                errors[o.index] = o.error
+
+        # -- k-of-n masters ------------------------------------------------
+        if master.required_k is not None:
+            if len(holdings) >= master.required_k:
+                keep = sorted(holdings)[: master.required_k]
+                surplus = {i: holdings[i] for i in holdings
+                           if i not in keep}
+                self._cancel_holdings(surplus)
+                kept = {i: holdings[i] for i in keep}
+                return self._success(request, m_idx, None, kept)
+            self._cancel_holdings(holdings)
+            return ScheduleFeedback(
+                request=request, ok=False,
+                failure_kind=FailureKind.RESOURCES,
+                failure_detail=(f"k-of-n: only {len(holdings)} of "
+                                f"{master.required_k} required entries "
+                                f"reserved"),
+                entry_errors=errors)
+
+        failed = sorted(set(range(len(entries))) - set(holdings))
+        if not failed:
+            return self._success(request, m_idx, None, holdings)
+
+        # -- variant fallback ------------------------------------------------
+        tried: List[VariantSchedule] = []
+        current_entries = entries
+        while failed and len(tried) < self.max_variant_attempts:
+            variant = master.select_variant(failed, exclude=tried)
+            if variant is None:
+                break
+            tried.append(variant)
+            self.stats.variant_attempts += 1
+            new_entries = master.resolve(variant)
+
+            if self.naive_variant_handling:
+                # ablation: cancel everything and re-reserve the variant
+                self._cancel_holdings(holdings)
+                holdings = {}
+                to_reserve = list(enumerate(new_entries))
+            else:
+                to_reserve = []
+                for idx, replacement in variant.replacements.items():
+                    held = holdings.get(idx)
+                    if held is not None:
+                        if held.mapping.same_target(replacement):
+                            continue  # anti-thrashing: keep the reservation
+                        self._cancel_holdings({idx: held})
+                        del holdings[idx]
+                    to_reserve.append((idx, replacement))
+                # failed entries not replaced cannot exist (covers() holds)
+
+            outcomes = self._reserve(to_reserve, rtype, duration,
+                                     start_time, timeout)
+            for o in outcomes:
+                if o.ok:
+                    holdings[o.index] = _Holding(o.mapping, o.token)
+                    errors.pop(o.index, None)
+                else:
+                    errors[o.index] = o.error
+            current_entries = new_entries
+            failed = sorted(set(range(len(current_entries)))
+                            - set(holdings))
+            if not failed:
+                return self._success(request, m_idx, variant, holdings)
+
+        self._cancel_holdings(holdings)
+        return ScheduleFeedback(
+            request=request, ok=False,
+            failure_kind=FailureKind.RESOURCES,
+            failure_detail=f"master {m_idx}: entries {failed} unreservable "
+                           f"after {len(tried)} variant(s)",
+            entry_errors=errors)
+
+    def _success(self, request: ScheduleRequestList, m_idx: int,
+                 variant: Optional[VariantSchedule],
+                 holdings: Dict[int, _Holding]) -> ScheduleFeedback:
+        entries = [(i, holdings[i].mapping) for i in sorted(holdings)]
+        handle = _ReservationSet(m_idx, entries, dict(holdings))
+        return ScheduleFeedback(
+            request=request, ok=True, master_index=m_idx, variant=variant,
+            reserved_entries=[m for _, m in entries],
+            reservation_handle=handle)
+
+    # ------------------------------------------------------------------
+    # cancel_reservations
+    # ------------------------------------------------------------------
+    def cancel_reservations(self, feedback: ScheduleFeedback) -> int:
+        """Release every reservation held by a successful feedback."""
+        handle = self._handle_of(feedback)
+        n = len(handle.holdings)
+        self._cancel_holdings(handle.holdings)
+        handle.holdings.clear()
+        return n
+
+    # ------------------------------------------------------------------
+    # enact_schedule
+    # ------------------------------------------------------------------
+    def _handle_of(self, feedback: ScheduleFeedback) -> _ReservationSet:
+        handle = feedback.reservation_handle
+        if not isinstance(handle, _ReservationSet):
+            raise EnactmentError(
+                "feedback carries no reservation handle — call "
+                "make_reservations first and check feedback.ok")
+        return handle
+
+    def enact_schedule(self, feedback: ScheduleFeedback,
+                       rollback_on_failure: bool = False) -> EnactResult:
+        """Instantiate objects on the reserved resources (steps 7-11).
+
+        Invokes ``create_instance`` with directed placement (LOID +
+        reservation token) on each entry's Class object.  "The class objects
+        report success/failure codes, and the Enactor returns the result to
+        the Scheduler."
+        """
+        handle = self._handle_of(feedback)
+        if handle.enacted:
+            raise EnactmentError("this reservation set was already enacted")
+        result = EnactResult(ok=True)
+        for idx, mapping in handle.entries:
+            holding = handle.holdings.get(idx)
+            if holding is None:
+                continue  # cancelled out from under us
+            class_obj = self.resolver(mapping.class_loid)
+            if not isinstance(class_obj, ClassObject):
+                result.entry_results[idx] = CreateResult(
+                    False, reason=f"unknown class {mapping.class_loid}")
+                result.ok = False
+                continue
+            host = self.resolver(mapping.host_loid)
+            placement = Placement(host_loid=mapping.host_loid,
+                                  vault_loid=mapping.vault_loid,
+                                  reservation_token=holding.token,
+                                  implementation=mapping.implementation)
+            if mapping.gang > 1:
+                def create(p=placement, n=mapping.gang, c=class_obj):
+                    return c.create_instances(
+                        p, n, now=self.transport.sim.now)
+            else:
+                def create(p=placement, c=class_obj):
+                    return c.create_instance(
+                        p, now=self.transport.sim.now)
+            try:
+                if host is not None:
+                    created = self.transport.invoke(
+                        self.location, host.location, create,
+                        label="create_instance")
+                else:
+                    created = create()
+            except Exception as exc:
+                created = CreateResult(
+                    False, reason=f"{type(exc).__name__}: {exc}")
+            result.entry_results[idx] = created
+            if created.ok and created.loid is not None:
+                result.created.extend(created.loids or [created.loid])
+            else:
+                result.ok = False
+
+        handle.enacted = True
+        if result.ok:
+            self.stats.enactments += 1
+        else:
+            self.stats.enact_failures += 1
+            result.detail = "; ".join(
+                f"entry {i}: {r.reason}"
+                for i, r in sorted(result.entry_results.items())
+                if not r.ok)
+            if rollback_on_failure and result.created:
+                for loid in result.created:
+                    class_obj = self.resolver(loid.class_loid())
+                    if isinstance(class_obj, ClassObject):
+                        try:
+                            class_obj.destroy_instance(
+                                loid, now=self.transport.sim.now)
+                        except Exception:
+                            pass
+                result.created = []
+        self.tracer.emit("enactor", "enacted", ok=result.ok,
+                         created=len(result.created))
+        return result

@@ -1,0 +1,170 @@
+"""Exception hierarchy for the Legion RMS reproduction.
+
+Every error raised by the library derives from :class:`LegionError` so callers
+can catch library failures without catching programming errors.  The hierarchy
+mirrors the paper's failure surfaces: reservation negotiation (section 3.1),
+Collection queries (section 3.2), schedule enactment (section 3.4), and the
+underlying simulated metasystem substrate.
+"""
+
+from __future__ import annotations
+
+
+class LegionError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation substrate
+# ---------------------------------------------------------------------------
+
+class SimulationError(LegionError):
+    """Base class for discrete-event simulation kernel errors."""
+
+
+class SimTimeError(SimulationError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process misbehaved (e.g. yielded an unknown value)."""
+
+
+# ---------------------------------------------------------------------------
+# Network / transport
+# ---------------------------------------------------------------------------
+
+class NetworkError(LegionError):
+    """Base class for simulated-network failures."""
+
+
+class HostUnreachableError(NetworkError):
+    """The destination object's host cannot be reached (partition/down)."""
+
+
+class MessageLostError(NetworkError):
+    """A message was dropped by the simulated network."""
+
+
+class RPCError(NetworkError):
+    """A remote method invocation failed at the callee."""
+
+
+# ---------------------------------------------------------------------------
+# Naming / object runtime
+# ---------------------------------------------------------------------------
+
+class NamingError(LegionError):
+    """Base class for LOID / context-space errors."""
+
+
+class InvalidLOIDError(NamingError):
+    """A LOID string or component sequence could not be parsed."""
+
+
+class BindingError(NamingError):
+    """Context-space lookup or bind failure."""
+
+
+class ObjectError(LegionError):
+    """Base class for Legion object lifecycle errors."""
+
+
+class ObjectStateError(ObjectError):
+    """Operation invalid for the object's current lifecycle state."""
+
+
+class UnknownObjectError(ObjectError):
+    """No object with the given LOID is known to the class/manager."""
+
+
+class NoImplementationError(ObjectError):
+    """A class has no implementation compatible with the target platform."""
+
+
+# ---------------------------------------------------------------------------
+# Hosts, vaults, reservations (paper section 3.1)
+# ---------------------------------------------------------------------------
+
+class ResourceError(LegionError):
+    """Base class for Host/Vault resource errors."""
+
+
+class ReservationError(ResourceError):
+    """Base class for reservation-management failures."""
+
+
+class ReservationDeniedError(ReservationError):
+    """The Host refused to grant the requested reservation."""
+
+
+class InvalidReservationError(ReservationError):
+    """A presented token is unknown, expired, cancelled, or forged."""
+
+
+class PlacementPolicyError(ResourceError):
+    """Local placement policy (site autonomy) rejected the request."""
+
+
+class VaultIncompatibleError(ResourceError):
+    """The requested vault is not reachable/compatible with the host."""
+
+
+class InsufficientResourcesError(ResourceError):
+    """The host lacks memory/CPU/slots to honor the request."""
+
+
+# ---------------------------------------------------------------------------
+# Collection (paper section 3.2)
+# ---------------------------------------------------------------------------
+
+class CollectionError(LegionError):
+    """Base class for Collection failures."""
+
+
+class QuerySyntaxError(CollectionError):
+    """The query string does not conform to the Collection grammar."""
+
+
+class QueryEvaluationError(CollectionError):
+    """A syntactically valid query failed during evaluation."""
+
+
+class AuthenticationError(CollectionError):
+    """The caller is not allowed to update the data in the Collection."""
+
+
+class NotAMemberError(CollectionError):
+    """Update/leave for a LOID that never joined the Collection."""
+
+
+# ---------------------------------------------------------------------------
+# Schedules, Enactor, Monitor (paper sections 3.3-3.5)
+# ---------------------------------------------------------------------------
+
+class ScheduleError(LegionError):
+    """Base class for schedule data-structure errors."""
+
+
+class MalformedScheduleError(ScheduleError):
+    """A schedule violates structural invariants (e.g. bad variant bitmap)."""
+
+
+class EnactmentError(LegionError):
+    """Base class for Enactor failures."""
+
+
+class ReservationPhaseError(EnactmentError):
+    """make_reservations failed for every master/variant schedule."""
+
+
+class InstantiationPhaseError(EnactmentError):
+    """enact_schedule failed after reservations had been obtained."""
+
+
+class SchedulingError(LegionError):
+    """A Scheduler could not produce any feasible schedule."""
+
+
+class MigrationError(LegionError):
+    """Object migration (deactivate / move OPR / reactivate) failed."""

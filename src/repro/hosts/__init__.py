@@ -1,0 +1,38 @@
+"""Host Objects: machine guardians, reservations, placement policies, and
+the simulated machines they arbitrate."""
+
+from .batch_host import BatchQueueHost
+from .host_object import HostObject, PlacedObject, StartResult
+from .machine import LoadWalk, MachineSpec, SimJob, SimMachine
+from .policy import (
+    AcceptAll,
+    CompositePolicy,
+    DomainBlacklist,
+    LoadCeiling,
+    PlacementPolicy,
+    PolicyDecision,
+    PriceFloor,
+    TimeOfDayWindow,
+)
+from .reservations import (
+    ALL_TYPES,
+    INSTANTANEOUS,
+    ONE_SHOT_SPACE,
+    ONE_SHOT_TIME,
+    REUSABLE_SPACE,
+    REUSABLE_TIME,
+    ReservationTable,
+    ReservationToken,
+    ReservationType,
+)
+from .unix_host import UnixHost
+
+__all__ = [
+    "HostObject", "UnixHost", "BatchQueueHost", "StartResult", "PlacedObject",
+    "SimMachine", "MachineSpec", "SimJob", "LoadWalk",
+    "ReservationType", "ReservationToken", "ReservationTable",
+    "ONE_SHOT_SPACE", "REUSABLE_SPACE", "ONE_SHOT_TIME", "REUSABLE_TIME",
+    "ALL_TYPES", "INSTANTANEOUS",
+    "PlacementPolicy", "PolicyDecision", "AcceptAll", "DomainBlacklist",
+    "TimeOfDayWindow", "LoadCeiling", "PriceFloor", "CompositePolicy",
+]

@@ -1,0 +1,159 @@
+"""Local placement policies — site autonomy.
+
+"Scheduling in Legion is never of a dictatorial nature; requests are made of
+resource guardians, who have final authority over what requests are honored"
+(paper section 3).  Every Host consults its policy before granting a
+reservation or starting an object.  The paper's examples of exported policy
+information (section 3.1) are realized here: refusing requests from specific
+domains, time-of-day willingness, and per-CPU-cycle pricing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..naming.loid import LOID
+
+__all__ = [
+    "PolicyDecision",
+    "PlacementPolicy",
+    "AcceptAll",
+    "DomainBlacklist",
+    "TimeOfDayWindow",
+    "LoadCeiling",
+    "PriceFloor",
+    "CompositePolicy",
+]
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    allowed: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+ALLOW = PolicyDecision(True)
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """What the host knows about an incoming placement request."""
+
+    class_loid: Optional[LOID] = None
+    requester_domain: str = ""
+    offered_price: float = 0.0
+
+
+class PlacementPolicy:
+    """Interface: decide whether a request may proceed on ``host`` now."""
+
+    def decide(self, host, request: PlacementRequest,
+               now: float) -> PolicyDecision:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class AcceptAll(PlacementPolicy):
+    """The permissive default."""
+
+    def decide(self, host, request: PlacementRequest,
+               now: float) -> PolicyDecision:
+        return ALLOW
+
+
+class DomainBlacklist(PlacementPolicy):
+    """Refuse object-instantiation requests from listed domains."""
+
+    def __init__(self, refused_domains: Sequence[str]):
+        self.refused = frozenset(refused_domains)
+
+    def decide(self, host, request: PlacementRequest,
+               now: float) -> PolicyDecision:
+        if request.requester_domain in self.refused:
+            return PolicyDecision(
+                False, f"domain {request.requester_domain!r} refused")
+        return ALLOW
+
+    def describe(self) -> str:
+        return f"DomainBlacklist({sorted(self.refused)})"
+
+
+class TimeOfDayWindow(PlacementPolicy):
+    """Accept extra jobs only during an allowed window of the (virtual) day.
+
+    The day length defaults to 86400 simulated seconds; the window may wrap
+    midnight (e.g. accept 18:00-08:00 — a workstation free only off-hours).
+    """
+
+    def __init__(self, open_hour: float, close_hour: float,
+                 day_seconds: float = 86400.0):
+        self.open_hour = open_hour % 24.0
+        self.close_hour = close_hour % 24.0
+        self.day_seconds = day_seconds
+
+    def decide(self, host, request: PlacementRequest,
+               now: float) -> PolicyDecision:
+        hour = (now % self.day_seconds) / (self.day_seconds / 24.0)
+        if self.open_hour <= self.close_hour:
+            ok = self.open_hour <= hour < self.close_hour
+        else:  # wraps midnight
+            ok = hour >= self.open_hour or hour < self.close_hour
+        if not ok:
+            return PolicyDecision(
+                False, f"outside acceptance window "
+                       f"[{self.open_hour}, {self.close_hour})h")
+        return ALLOW
+
+
+class LoadCeiling(PlacementPolicy):
+    """Refuse new work while the machine's load average exceeds a ceiling."""
+
+    def __init__(self, max_load: float):
+        self.max_load = max_load
+
+    def decide(self, host, request: PlacementRequest,
+               now: float) -> PolicyDecision:
+        load = host.machine.load_average
+        if load > self.max_load:
+            return PolicyDecision(
+                False, f"load {load:.2f} > ceiling {self.max_load}")
+        return ALLOW
+
+
+class PriceFloor(PlacementPolicy):
+    """Require the requester to meet the host's price per CPU-second."""
+
+    def __init__(self, price: float):
+        self.price = price
+
+    def decide(self, host, request: PlacementRequest,
+               now: float) -> PolicyDecision:
+        if request.offered_price < self.price:
+            return PolicyDecision(
+                False, f"offered {request.offered_price} < price "
+                       f"{self.price}")
+        return ALLOW
+
+
+class CompositePolicy(PlacementPolicy):
+    """All sub-policies must allow."""
+
+    def __init__(self, policies: Sequence[PlacementPolicy]):
+        self.policies: List[PlacementPolicy] = list(policies)
+
+    def decide(self, host, request: PlacementRequest,
+               now: float) -> PolicyDecision:
+        for policy in self.policies:
+            decision = policy.decide(host, request, now)
+            if not decision:
+                return decision
+        return ALLOW
+
+    def describe(self) -> str:
+        return " & ".join(p.describe() for p in self.policies)

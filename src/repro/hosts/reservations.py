@@ -1,0 +1,270 @@
+"""Reservations: non-forgeable tokens and the per-Host reservation table.
+
+Paper section 3.1: "To support scheduling, Hosts grant reservations for
+future service. ... they must be non-forgeable tokens; the Host Object must
+recognize these tokens when they are passed in with service requests. ...
+Our current implementation of reservations encodes both the Host and the
+Vault which will be used for execution of the object."
+
+"Legion reservations have a start time, a duration, and an optional timeout
+period. ... The timeout period indicates how long the recipient has to
+confirm the reservation if the start time indicates an instantaneous
+reservation.  Confirmation is implicit when the reservation token is
+presented with the StartObject() call.  Our reservations have two type bits:
+reuse and share" — giving the four types of Table 2:
+
+====================  =======  =======
+type                  share    reuse
+====================  =======  =======
+one-shot space        0        0
+reusable space        0        1
+one-shot timesharing  1        0
+reusable timesharing  1        1
+====================  =======  =======
+
+An *unshared* reservation allocates the entire resource for its window; a
+*shared* one multiplexes the resource (bounded by the host's slot count).  A
+*reusable* token may be presented to multiple StartObject() calls.
+
+Non-forgeability is realized with an HMAC-SHA256 signature over the token
+fields using a per-host secret; only the issuing Host can mint or verify its
+tokens.  "It is not necessary for any other object in the system to be able
+to decode the reservation token."
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..errors import InvalidReservationError, ReservationDeniedError
+from ..naming.loid import LOID
+
+__all__ = [
+    "ReservationType",
+    "ONE_SHOT_SPACE",
+    "REUSABLE_SPACE",
+    "ONE_SHOT_TIME",
+    "REUSABLE_TIME",
+    "ReservationToken",
+    "ReservationTable",
+]
+
+
+@dataclass(frozen=True)
+class ReservationType:
+    """The two type bits of a Legion reservation (Table 2)."""
+
+    share: bool
+    reuse: bool
+
+    @property
+    def name(self) -> str:
+        kind = "timesharing" if self.share else "space"
+        shot = "reusable" if self.reuse else "one-shot"
+        return f"{shot} {kind}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+ONE_SHOT_SPACE = ReservationType(share=False, reuse=False)
+REUSABLE_SPACE = ReservationType(share=False, reuse=True)
+ONE_SHOT_TIME = ReservationType(share=True, reuse=False)
+REUSABLE_TIME = ReservationType(share=True, reuse=True)
+
+ALL_TYPES = (ONE_SHOT_SPACE, REUSABLE_SPACE, ONE_SHOT_TIME, REUSABLE_TIME)
+
+#: start_time value meaning "now" — an instantaneous reservation, subject to
+#: the confirmation timeout.
+INSTANTANEOUS = -1.0
+
+
+@dataclass(frozen=True)
+class ReservationToken:
+    """An unforgeable grant of future service on one (Host, Vault) pair."""
+
+    token_id: int
+    host_loid: LOID
+    vault_loid: LOID
+    class_loid: LOID
+    rtype: ReservationType
+    start_time: float          # absolute virtual time; INSTANTANEOUS for "now"
+    duration: float
+    timeout: float             # confirmation window for instantaneous grants
+    issued_at: float
+    signature: bytes = b""
+
+    def payload(self) -> bytes:
+        return "|".join([
+            str(self.token_id), str(self.host_loid), str(self.vault_loid),
+            str(self.class_loid), str(int(self.rtype.share)),
+            str(int(self.rtype.reuse)), repr(self.start_time),
+            repr(self.duration), repr(self.timeout), repr(self.issued_at),
+        ]).encode("utf-8")
+
+    def signed(self, secret: bytes) -> "ReservationToken":
+        sig = hmac.new(secret, self.payload(), hashlib.sha256).digest()
+        return replace(self, signature=sig)
+
+    def verify(self, secret: bytes) -> bool:
+        expected = hmac.new(secret, self.payload(), hashlib.sha256).digest()
+        return hmac.compare_digest(expected, self.signature)
+
+    @property
+    def instantaneous(self) -> bool:
+        return self.start_time == INSTANTANEOUS
+
+    def window(self) -> Tuple[float, float]:
+        """The reserved interval; instantaneous windows start at issue time."""
+        start = self.issued_at if self.instantaneous else self.start_time
+        return (start, start + self.duration)
+
+
+class _Entry:
+    __slots__ = ("token", "cancelled", "redeemed", "confirmed")
+
+    def __init__(self, token: ReservationToken):
+        self.token = token
+        self.cancelled = False
+        self.redeemed = 0      # number of StartObject presentations
+        self.confirmed = False
+
+    def expired(self, now: float) -> bool:
+        tok = self.token
+        if tok.instantaneous and not self.confirmed and tok.timeout > 0:
+            if now > tok.issued_at + tok.timeout:
+                return True
+        start, end = tok.window()
+        return now > end
+
+
+class ReservationTable:
+    """The Host-side reservation ledger (the paper's "reservation table").
+
+    Admission rules over any instant ``t``:
+
+    * an **unshared** reservation may be granted only if no other live
+      reservation overlaps its window, and it blocks all later overlaps;
+    * **shared** reservations may overlap each other up to ``slots``
+      concurrent grants, but never overlap an unshared one.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, host_loid: LOID, secret: bytes, slots: int = 4):
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.host_loid = host_loid
+        self._secret = secret
+        self.slots = slots
+        self._entries: Dict[int, _Entry] = {}
+        self.grants = 0
+        self.denials = 0
+        self.cancellations = 0
+
+    # -- internal helpers ---------------------------------------------------
+    def _live_entries(self, now: float) -> List[_Entry]:
+        return [e for e in self._entries.values()
+                if not e.cancelled and not e.expired(now)]
+
+    @staticmethod
+    def _overlaps(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+        return a[0] < b[1] and b[0] < a[1]
+
+    def _admissible(self, tok: ReservationToken, now: float) -> bool:
+        window = tok.window()
+        overlapping = [e for e in self._live_entries(now)
+                       if self._overlaps(window, e.token.window())]
+        if not tok.rtype.share:
+            return not overlapping
+        if any(not e.token.rtype.share for e in overlapping):
+            return False
+        return len(overlapping) < self.slots
+
+    # -- the Table 1 reservation-management interface -------------------------
+    def make_reservation(self, vault_loid: LOID, class_loid: LOID,
+                         rtype: ReservationType, now: float,
+                         start_time: float = INSTANTANEOUS,
+                         duration: float = 3600.0,
+                         timeout: float = 60.0) -> ReservationToken:
+        """Grant and sign a reservation, or raise ReservationDeniedError."""
+        if duration <= 0:
+            raise ReservationDeniedError("non-positive duration")
+        if start_time != INSTANTANEOUS and start_time < now:
+            raise ReservationDeniedError(
+                f"start_time {start_time} is in the past (now={now})")
+        probe = ReservationToken(
+            token_id=next(self._ids), host_loid=self.host_loid,
+            vault_loid=vault_loid, class_loid=class_loid, rtype=rtype,
+            start_time=start_time, duration=duration, timeout=timeout,
+            issued_at=now)
+        if not self._admissible(probe, now):
+            self.denials += 1
+            raise ReservationDeniedError(
+                f"host {self.host_loid}: window {probe.window()} "
+                f"conflicts under type {rtype}")
+        token = probe.signed(self._secret)
+        self._entries[token.token_id] = _Entry(token)
+        self.grants += 1
+        return token
+
+    def check_reservation(self, token: ReservationToken, now: float) -> bool:
+        """Is this token one of ours, live, and currently honorable?"""
+        entry = self._entries.get(token.token_id)
+        if entry is None or entry.cancelled:
+            return False
+        if not token.verify(self._secret):
+            return False
+        if entry.token != token:
+            return False  # altered fields with a stale signature
+        if entry.expired(now):
+            return False
+        if not token.rtype.reuse and entry.redeemed > 0:
+            return False
+        start, end = token.window()
+        if not token.instantaneous and now < start:
+            return False  # too early to redeem a future reservation
+        return True
+
+    def redeem(self, token: ReservationToken, now: float) -> None:
+        """Consume the token for one StartObject (implicit confirmation)."""
+        if not self.check_reservation(token, now):
+            raise InvalidReservationError(
+                f"token {token.token_id} is not redeemable on "
+                f"{self.host_loid}")
+        entry = self._entries[token.token_id]
+        entry.redeemed += 1
+        entry.confirmed = True
+
+    def cancel_reservation(self, token: ReservationToken, now: float) -> None:
+        entry = self._entries.get(token.token_id)
+        if entry is None or not token.verify(self._secret):
+            raise InvalidReservationError(
+                f"cannot cancel unknown/forged token {token.token_id}")
+        if not entry.cancelled:
+            entry.cancelled = True
+            self.cancellations += 1
+
+    # -- bookkeeping ------------------------------------------------------------
+    def live_count(self, now: float) -> int:
+        return len(self._live_entries(now))
+
+    def active_at(self, t: float, now: float) -> int:
+        """Live reservations whose window covers instant ``t``."""
+        return sum(1 for e in self._live_entries(now)
+                   if e.token.window()[0] <= t < e.token.window()[1])
+
+    def purge(self, now: float) -> int:
+        """Drop expired/cancelled entries; returns the number removed."""
+        dead = [tid for tid, e in self._entries.items()
+                if e.cancelled or e.expired(now)]
+        for tid in dead:
+            del self._entries[tid]
+        return len(dead)
+
+    def __len__(self) -> int:
+        return len(self._entries)

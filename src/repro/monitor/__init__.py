@@ -1,0 +1,9 @@
+"""The execution Monitor and the migration machinery it drives."""
+
+from .migration import MigrationReport, Migrator
+from .monitor import ExecutionMonitor, MonitorStats
+from .policies import GreedyLeastLoaded, ReschedulePolicy, SchedulerBacked
+
+__all__ = ["Migrator", "MigrationReport", "ExecutionMonitor",
+           "MonitorStats", "ReschedulePolicy", "GreedyLeastLoaded",
+           "SchedulerBacked"]

@@ -1,0 +1,6 @@
+"""Naming substrate: Legion Object Identifiers and the context space."""
+
+from .context import ContextSpace
+from .loid import LOID, LOIDMinter
+
+__all__ = ["LOID", "LOIDMinter", "ContextSpace"]

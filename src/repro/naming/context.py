@@ -1,0 +1,114 @@
+"""Context space: human-readable hierarchical names bound to LOIDs.
+
+Legion exposes a Unix-like namespace (``/hosts/hotel``, ``/classes/BasicFile``)
+mapping path names to LOIDs.  The RMI uses it to look up well-known service
+objects (the Collection, the Enactor, default Schedulers) and to enumerate
+resource objects at bootstrap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import BindingError
+from .loid import LOID
+
+__all__ = ["ContextSpace"]
+
+
+def _split(path: str) -> List[str]:
+    if not isinstance(path, str) or not path.startswith("/"):
+        raise BindingError(f"context paths must be absolute: {path!r}")
+    parts = [p for p in path.split("/") if p]
+    for p in parts:
+        if p in (".", ".."):
+            raise BindingError(f"'.'/'..' not permitted in paths: {path!r}")
+    return parts
+
+
+class _Node:
+    __slots__ = ("children", "loid")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, _Node] = {}
+        self.loid: Optional[LOID] = None
+
+
+class ContextSpace:
+    """A tree of name bindings.  Interior nodes are contexts (directories);
+    any node may additionally carry a LOID binding."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._count = 0
+
+    # -- mutation ------------------------------------------------------------
+    def bind(self, path: str, loid: LOID, replace: bool = False) -> None:
+        """Bind ``path`` to ``loid``, creating intermediate contexts."""
+        if not isinstance(loid, LOID):
+            raise BindingError(f"can only bind LOIDs, got {loid!r}")
+        node = self._root
+        for part in _split(path):
+            node = node.children.setdefault(part, _Node())
+        if node.loid is not None and not replace:
+            raise BindingError(f"{path!r} is already bound to {node.loid}")
+        if node.loid is None:
+            self._count += 1
+        node.loid = loid
+
+    def unbind(self, path: str) -> LOID:
+        """Remove the binding at ``path`` (contexts are left in place)."""
+        node = self._find(path)
+        if node is None or node.loid is None:
+            raise BindingError(f"{path!r} is not bound")
+        loid, node.loid = node.loid, None
+        self._count -= 1
+        return loid
+
+    # -- lookup ---------------------------------------------------------------
+    def _find(self, path: str) -> Optional[_Node]:
+        node = self._root
+        for part in _split(path):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def lookup(self, path: str) -> LOID:
+        """Return the LOID bound at ``path`` or raise :class:`BindingError`."""
+        node = self._find(path)
+        if node is None or node.loid is None:
+            raise BindingError(f"no binding at {path!r}")
+        return node.loid
+
+    def get(self, path: str, default: Optional[LOID] = None) -> Optional[LOID]:
+        node = self._find(path)
+        if node is None or node.loid is None:
+            return default
+        return node.loid
+
+    def exists(self, path: str) -> bool:
+        node = self._find(path)
+        return node is not None and node.loid is not None
+
+    def list(self, path: str = "/") -> List[str]:
+        """Names of the children of the context at ``path``."""
+        node = self._root if path == "/" else self._find(path)
+        if node is None:
+            raise BindingError(f"no context at {path!r}")
+        return sorted(node.children)
+
+    def walk(self) -> Iterator[Tuple[str, LOID]]:
+        """Yield every ``(path, loid)`` binding, depth-first, sorted."""
+        def rec(prefix: str, node: _Node):
+            if node.loid is not None:
+                yield (prefix or "/", node.loid)
+            for name in sorted(node.children):
+                yield from rec(prefix + "/" + name, node.children[name])
+        yield from rec("", self._root)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, path: str) -> bool:
+        return self.exists(path)

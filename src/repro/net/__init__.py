@@ -1,0 +1,11 @@
+"""Simulated wide-area network: domains, latency models, RPC transport."""
+
+from .latency import LatencyModel, MetasystemLatencyModel, ZeroLatencyModel
+from .topology import AdministrativeDomain, NetLocation, Topology
+from .transport import Call, CallOutcome, Transport
+
+__all__ = [
+    "Topology", "AdministrativeDomain", "NetLocation",
+    "LatencyModel", "MetasystemLatencyModel", "ZeroLatencyModel",
+    "Transport", "Call", "CallOutcome",
+]

@@ -1,0 +1,105 @@
+"""Latency and transfer-time models for the simulated wide-area network.
+
+Calibrated to late-1990s metacomputing conditions (the paper's era):
+sub-millisecond local calls, ~1 ms LAN round-trips within a domain, and tens
+to hundreds of milliseconds between administrative domains, with heavy-tailed
+jitter.  All parameters are constructor arguments so experiments can sweep
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.distributions import Clipped, Distribution, LogNormal
+from .topology import NetLocation, Topology
+
+__all__ = ["LatencyModel", "MetasystemLatencyModel", "ZeroLatencyModel"]
+
+
+class LatencyModel:
+    """Abstract one-way message latency + bulk-transfer model."""
+
+    def sample_latency(self, rng: np.random.Generator,
+                       src: Optional[NetLocation],
+                       dst: NetLocation) -> float:
+        raise NotImplementedError
+
+    def transfer_time(self, rng: np.random.Generator,
+                      nbytes: float,
+                      src: Optional[NetLocation],
+                      dst: NetLocation) -> float:
+        raise NotImplementedError
+
+
+class MetasystemLatencyModel(LatencyModel):
+    """Domain-aware latency: local < intra-domain < inter-domain.
+
+    Parameters
+    ----------
+    topology:
+        Used for domain-distance scaling of inter-domain latency.
+    local_overhead:
+        Cost of a method call on the same node (seconds).
+    intra, inter:
+        Base one-way latency distributions within / across domains.  The
+        inter-domain sample is multiplied by the topology's domain distance.
+    intra_bandwidth, inter_bandwidth:
+        Bulk-transfer bandwidth in bytes/second (for OPR migration).
+    """
+
+    def __init__(self, topology: Topology,
+                 local_overhead: float = 50e-6,
+                 intra: Optional[Distribution] = None,
+                 inter: Optional[Distribution] = None,
+                 intra_bandwidth: float = 1.0e6,
+                 inter_bandwidth: float = 100.0e3):
+        self.topology = topology
+        self.local_overhead = local_overhead
+        # LogNormal(mu, sigma): medians of ~0.5ms intra and ~25ms inter.
+        self.intra = intra or Clipped(
+            LogNormal(mu=-7.6, sigma=0.35), low=1e-4, high=0.05)
+        self.inter = inter or Clipped(
+            LogNormal(mu=-3.7, sigma=0.5), low=5e-3, high=2.0)
+        self.intra_bandwidth = intra_bandwidth
+        self.inter_bandwidth = inter_bandwidth
+
+    def sample_latency(self, rng: np.random.Generator,
+                       src: Optional[NetLocation],
+                       dst: NetLocation) -> float:
+        if src is not None and src == dst:
+            return self.local_overhead
+        if src is None or src.domain == dst.domain:
+            return float(self.intra.sample(rng))
+        scale = 0.5 * self.topology.domain_distance(src.domain, dst.domain)
+        return float(self.inter.sample(rng)) * max(scale, 1.0)
+
+    def transfer_time(self, rng: np.random.Generator,
+                      nbytes: float,
+                      src: Optional[NetLocation],
+                      dst: NetLocation) -> float:
+        lat = self.sample_latency(rng, src, dst)
+        if src is not None and src == dst:
+            return lat
+        if src is None or src.domain == dst.domain:
+            bw = self.intra_bandwidth
+        else:
+            bw = self.inter_bandwidth
+        return lat + float(nbytes) / bw
+
+
+class ZeroLatencyModel(LatencyModel):
+    """All calls are free — for pure-algorithm unit tests and microbenches."""
+
+    def sample_latency(self, rng: np.random.Generator,
+                       src: Optional[NetLocation],
+                       dst: NetLocation) -> float:
+        return 0.0
+
+    def transfer_time(self, rng: np.random.Generator,
+                      nbytes: float,
+                      src: Optional[NetLocation],
+                      dst: NetLocation) -> float:
+        return 0.0

@@ -1,0 +1,202 @@
+"""The RPC transport: latency-charged method invocation over the simulator.
+
+Design (DESIGN.md section 4): RMI protocol code runs on the Python stack, but
+every remote invocation passes through :meth:`Transport.invoke`, which
+
+1. checks reachability (raising :class:`HostUnreachableError` on partition or
+   node failure) and samples message loss;
+2. samples the request latency, advances the virtual clock by it, and drains
+   world events up to the new time (``Simulator.run_until``) so the callee
+   observes a current world;
+3. executes the target callable;
+4. charges the reply latency the same way.
+
+:meth:`Transport.parallel_invoke` models the Enactor issuing reservation
+requests to several Hosts *concurrently*: calls execute in arrival order, and
+the clock finishes at the **max** completion time rather than the sum, so
+co-allocation cost scales with the slowest resource — the behaviour E8
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import HostUnreachableError, MessageLostError
+from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
+from ..sim.tracing import Tracer
+from .latency import LatencyModel
+from .topology import NetLocation, Topology
+
+__all__ = ["Transport", "Call", "CallOutcome"]
+
+
+@dataclass(frozen=True)
+class Call:
+    """One remote invocation for :meth:`Transport.parallel_invoke`."""
+
+    src: Optional[NetLocation]
+    dst: NetLocation
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+
+@dataclass
+class CallOutcome:
+    """Result slot from a parallel invocation."""
+
+    ok: bool
+    value: Any = None
+    error: Optional[Exception] = None
+    completed_at: float = 0.0
+
+
+class Transport:
+    """Latency-charging invocation layer bound to one simulator."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 latency_model: LatencyModel, rngs: RngRegistry,
+                 tracer: Optional[Tracer] = None,
+                 loss_probability: float = 0.0):
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+        self.sim = sim
+        self.topology = topology
+        self.latency_model = latency_model
+        self.rng = rngs.stream("net", "latency")
+        self._loss_rng = rngs.stream("net", "loss")
+        self.tracer = tracer if tracer is not None else Tracer(
+            lambda: sim.now)
+        self.loss_probability = loss_probability
+        self.messages_sent = 0
+        self.messages_lost = 0
+
+    # -- single call --------------------------------------------------------
+    def _one_way(self, src: Optional[NetLocation], dst: NetLocation,
+                 label: str) -> None:
+        """Charge one message hop, or raise."""
+        if not self.topology.reachable(src, dst):
+            raise HostUnreachableError(f"{src} -> {dst} unreachable "
+                                       f"({label})")
+        self.messages_sent += 1
+        if (self.loss_probability > 0.0
+                and self._loss_rng.random() < self.loss_probability):
+            self.messages_lost += 1
+            # the sender still waits out a timeout before seeing the loss
+            lat = self.latency_model.sample_latency(self.rng, src, dst)
+            self.sim.run_until(self.sim.now + 4.0 * lat)
+            raise MessageLostError(f"message {src} -> {dst} lost ({label})")
+        lat = self.latency_model.sample_latency(self.rng, src, dst)
+        self.sim.run_until(self.sim.now + lat)
+
+    def _reply_hop(self, src: Optional[NetLocation], dst: NetLocation,
+                   label: str) -> None:
+        """Charge the reply message from ``dst`` back to ``src``.
+
+        When ``src`` is a well-connected service endpoint (None), the reply
+        is charged with the same src=None distribution as the request.
+        """
+        if src is not None:
+            self._one_way(dst, src, label)
+        else:
+            self._one_way(None, dst, label)
+
+    def invoke(self, src: Optional[NetLocation], dst: NetLocation,
+               fn: Callable[..., Any], *args: Any,
+               label: str = "", **kwargs: Any) -> Any:
+        """Synchronous remote call: request hop, execute, reply hop."""
+        t0 = self.sim.now
+        name = label or getattr(fn, "__name__", "call")
+        self._one_way(src, dst, name)
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self._reply_hop(src, dst, "error-reply")
+            raise
+        self._reply_hop(src, dst, "reply")
+        self.tracer.emit("net", "invoke",
+                         src=str(src), dst=str(dst), label=name,
+                         rtt=self.sim.now - t0)
+        return result
+
+    def transfer(self, src: Optional[NetLocation], dst: NetLocation,
+                 nbytes: float, label: str = "transfer") -> float:
+        """Charge a bulk data transfer (e.g. moving an OPR between vaults).
+
+        Returns the elapsed transfer time."""
+        if not self.topology.reachable(src, dst):
+            raise HostUnreachableError(f"{src} -> {dst} unreachable "
+                                       f"({label})")
+        elapsed = self.latency_model.transfer_time(self.rng, nbytes, src,
+                                                   dst)
+        self.messages_sent += 1
+        self.sim.run_until(self.sim.now + elapsed)
+        self.tracer.emit("net", "transfer", src=str(src), dst=str(dst),
+                         nbytes=nbytes, elapsed=elapsed)
+        return elapsed
+
+    # -- parallel calls ------------------------------------------------------
+    def parallel_invoke(self, calls: Sequence[Call]) -> List[CallOutcome]:
+        """Issue several calls concurrently; finish at the slowest one.
+
+        Outcomes are returned in input order.  Individual failures (network
+        or callee exceptions) are captured per-slot, not raised — the Enactor
+        needs all outcomes to decide between master and variant schedules.
+        """
+        start = self.sim.now
+        outcomes: List[CallOutcome] = [CallOutcome(False) for _ in calls]
+        if not calls:
+            return outcomes
+
+        # Sample all request latencies up front, execute in arrival order.
+        arrivals: List[Tuple[float, int]] = []
+        for i, call in enumerate(calls):
+            if not self.topology.reachable(call.src, call.dst):
+                outcomes[i] = CallOutcome(
+                    False,
+                    error=HostUnreachableError(f"{call.src} -> {call.dst}"),
+                    completed_at=start)
+                continue
+            self.messages_sent += 1
+            if (self.loss_probability > 0.0
+                    and self._loss_rng.random() < self.loss_probability):
+                self.messages_lost += 1
+                lat = self.latency_model.sample_latency(
+                    self.rng, call.src, call.dst)
+                outcomes[i] = CallOutcome(
+                    False, error=MessageLostError(str(call.dst)),
+                    completed_at=start + 4.0 * lat)
+                continue
+            lat = self.latency_model.sample_latency(
+                self.rng, call.src, call.dst)
+            arrivals.append((start + lat, i))
+
+        completion = start
+        for arrive_at, i in sorted(arrivals):
+            call = calls[i]
+            self.sim.run_until(arrive_at)
+            try:
+                value = call.fn(*call.args, **call.kwargs)
+                ok, err = True, None
+            except Exception as exc:
+                ok, err, value = False, exc, None
+            reply_lat = self.latency_model.sample_latency(
+                self.rng, call.dst, call.src) if call.src is not None else \
+                self.latency_model.sample_latency(self.rng, None, call.dst)
+            self.messages_sent += 1
+            done = self.sim.now + reply_lat
+            outcomes[i] = CallOutcome(ok, value=value, error=err,
+                                      completed_at=done)
+            completion = max(completion, done)
+
+        # Failed/lost slots may have later timeout completions.
+        for o in outcomes:
+            completion = max(completion, o.completed_at)
+        self.sim.run_until(completion)
+        self.tracer.emit("net", "parallel_invoke", n=len(calls),
+                         elapsed=self.sim.now - start)
+        return outcomes

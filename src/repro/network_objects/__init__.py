@@ -1,0 +1,10 @@
+"""Network Objects (paper section 6 future work): guarded communications
+resources with bandwidth reservations, plus bandwidth-aware scheduling."""
+
+from .comm_sched import BandwidthAwareScheduler, CommPlan, LinkRegistry
+from .link import BandwidthToken, NetworkObject
+
+__all__ = [
+    "NetworkObject", "BandwidthToken",
+    "LinkRegistry", "BandwidthAwareScheduler", "CommPlan",
+]

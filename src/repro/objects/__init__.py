@@ -1,0 +1,16 @@
+"""Legion object runtime: attribute databases, lifecycle, RGE triggers,
+OPRs, and Class objects."""
+
+from .attributes import AttributeDatabase
+from .base import LegionObject, ObjectState
+from .class_object import ClassObject, CreateResult, Implementation, Placement
+from .opr import OPR
+from .rge import Trigger, TriggerEngine, TriggerFiring
+
+__all__ = [
+    "AttributeDatabase",
+    "LegionObject", "ObjectState",
+    "ClassObject", "Implementation", "Placement", "CreateResult",
+    "OPR",
+    "Trigger", "TriggerEngine", "TriggerFiring",
+]

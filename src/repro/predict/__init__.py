@@ -1,0 +1,18 @@
+"""Network-Weather-Service-style forecasting for Collection injection."""
+
+from .nws import (
+    AdaptiveForecaster,
+    ExponentialSmoothing,
+    Forecaster,
+    HostLoadPredictor,
+    LastValue,
+    RunningMean,
+    SlidingWindowMean,
+    SlidingWindowMedian,
+)
+
+__all__ = [
+    "Forecaster", "LastValue", "RunningMean", "SlidingWindowMean",
+    "SlidingWindowMedian", "ExponentialSmoothing", "AdaptiveForecaster",
+    "HostLoadPredictor",
+]

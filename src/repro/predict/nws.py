@@ -1,0 +1,223 @@
+"""Network-Weather-Service-style resource forecasting.
+
+Paper section 3.2: "We plan to extend Collections to support function
+injection — the ability for users to install code to dynamically compute new
+description information ... This capability is especially important to users
+of the Network Weather Service, which predicts future resource availability
+based on statistical analysis of past behavior."
+
+Following Wolski's NWS design, several simple forecasters run side by side
+over each resource's measurement history, and an adaptive selector uses
+whichever forecaster has had the lowest error *so far* on that series.  The
+output plugs into a Collection as an injected computed attribute
+(``$predicted_load``), which the load-aware Scheduler can consume — the E14
+experiment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Forecaster",
+    "LastValue",
+    "RunningMean",
+    "SlidingWindowMean",
+    "SlidingWindowMedian",
+    "ExponentialSmoothing",
+    "AdaptiveForecaster",
+    "HostLoadPredictor",
+]
+
+
+class Forecaster:
+    """Online one-step-ahead forecaster."""
+
+    name = "abstract"
+
+    def update(self, value: float) -> None:
+        raise NotImplementedError
+
+    def predict(self) -> float:
+        """Forecast of the next value; NaN before any data arrives."""
+        raise NotImplementedError
+
+
+class LastValue(Forecaster):
+    """Predict the most recent measurement."""
+
+    name = "last"
+
+    def __init__(self) -> None:
+        self._last = float("nan")
+
+    def update(self, value: float) -> None:
+        self._last = float(value)
+
+    def predict(self) -> float:
+        return self._last
+
+
+class RunningMean(Forecaster):
+    """Predict the mean of the entire history."""
+
+    name = "mean"
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+
+    def update(self, value: float) -> None:
+        self._n += 1
+        self._mean += (float(value) - self._mean) / self._n
+
+    def predict(self) -> float:
+        return self._mean if self._n else float("nan")
+
+
+class SlidingWindowMean(Forecaster):
+    """Predict the mean of the last ``window`` measurements."""
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.name = f"win_mean({window})"
+        self._buf: Deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._buf.append(float(value))
+
+    def predict(self) -> float:
+        if not self._buf:
+            return float("nan")
+        return sum(self._buf) / len(self._buf)
+
+
+class SlidingWindowMedian(Forecaster):
+    """Predict the median of the last ``window`` measurements — robust to
+    the load spikes that wreck mean-based forecasts."""
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.name = f"win_median({window})"
+        self._buf: Deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._buf.append(float(value))
+
+    def predict(self) -> float:
+        if not self._buf:
+            return float("nan")
+        return float(np.median(list(self._buf)))
+
+
+class ExponentialSmoothing(Forecaster):
+    """Classic EWMA forecaster."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.name = f"ewma({alpha})"
+        self._state = float("nan")
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if self._state != self._state:  # NaN
+            self._state = value
+        else:
+            self._state = self.alpha * value + (1 - self.alpha) * self._state
+
+    def predict(self) -> float:
+        return self._state
+
+
+def _default_bank() -> List[Forecaster]:
+    return [
+        LastValue(),
+        RunningMean(),
+        SlidingWindowMean(5),
+        SlidingWindowMean(20),
+        SlidingWindowMedian(5),
+        SlidingWindowMedian(20),
+        ExponentialSmoothing(0.3),
+        ExponentialSmoothing(0.7),
+    ]
+
+
+class AdaptiveForecaster(Forecaster):
+    """NWS-style selector: track every forecaster's cumulative absolute
+    error and predict with the current winner."""
+
+    name = "adaptive"
+
+    def __init__(self, bank: Optional[Sequence[Forecaster]] = None):
+        self.bank: List[Forecaster] = list(bank) if bank else _default_bank()
+        self.errors = [0.0] * len(self.bank)
+        self._updates = 0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        for i, fc in enumerate(self.bank):
+            pred = fc.predict()
+            if pred == pred:  # not NaN
+                self.errors[i] += abs(pred - value)
+            fc.update(value)
+        self._updates += 1
+
+    def best_index(self) -> int:
+        if self._updates < 2:
+            return 0
+        return int(np.argmin(self.errors))
+
+    def predict(self) -> float:
+        return self.bank[self.best_index()].predict()
+
+    @property
+    def best_name(self) -> str:
+        return self.bank[self.best_index()].name
+
+
+class HostLoadPredictor:
+    """Per-host adaptive load forecasting, packaged for Collection
+    injection.
+
+    >>> predictor = HostLoadPredictor()
+    >>> collection.inject_attribute("predicted_load", predictor.computed)
+
+    Feed it measurements via :meth:`observe` (e.g. from a Data Collection
+    Daemon sweep); ``$predicted_load`` then resolves to the forecast, or to
+    the record's current ``host_load`` before any history exists.
+    """
+
+    def __init__(self, factory: Callable[[], Forecaster]
+                 = AdaptiveForecaster):
+        self._factory = factory
+        self._per_host: Dict[str, Forecaster] = {}
+
+    def observe(self, host_key: str, load: float) -> None:
+        fc = self._per_host.get(host_key)
+        if fc is None:
+            fc = self._factory()
+            self._per_host[host_key] = fc
+        fc.update(load)
+
+    def predict(self, host_key: str) -> float:
+        fc = self._per_host.get(host_key)
+        if fc is None:
+            return float("nan")
+        return fc.predict()
+
+    def computed(self, record: Mapping) -> float:
+        """Computed-attribute adapter for Collection.inject_attribute."""
+        key = str(record.get("host_name", ""))
+        pred = self.predict(key)
+        if pred == pred:
+            return pred
+        return float(record.get("host_load", 0.0))

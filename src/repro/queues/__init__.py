@@ -1,0 +1,13 @@
+"""Queue-management system simulators: FCFS (LoadLeveler/Codine family),
+EASY backfill with advance reservations (Maui family), and cycle-scavenged
+pools (Condor family)."""
+
+from .backfill import AdvanceReservation, BackfillQueue
+from .base import JobState, QueueJob, QueueSystem
+from .condor import CondorPool
+from .fcfs import FCFSQueue
+
+__all__ = [
+    "QueueSystem", "QueueJob", "JobState",
+    "FCFSQueue", "BackfillQueue", "AdvanceReservation", "CondorPool",
+]

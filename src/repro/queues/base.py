@@ -1,0 +1,209 @@
+"""Queue-management system substrate.
+
+The paper's Batch Queue Hosts mediate between Legion and local queue systems
+("We have Batch Queue Host implementations for Unix machines, LoadLeveler,
+and Codine"; a Maui-style system "does support reservations").  We implement
+the three behavioural families those systems represent:
+
+* :class:`~repro.queues.fcfs.FCFSQueue` — run-in-order space sharing
+  (LoadLeveler/Codine without backfill);
+* :class:`~repro.queues.backfill.BackfillQueue` — EASY backfill with
+  advance-reservation support (Maui);
+* :class:`~repro.queues.condor.CondorPool` — cycle-scavenged workstations
+  with owner-activity preemption (Condor).
+
+All share the :class:`QueueSystem` interface used by
+:class:`~repro.hosts.batch_host.BatchQueueHost`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ResourceError
+from ..sim.kernel import Simulator
+
+__all__ = ["QueueJob", "JobState", "QueueSystem"]
+
+
+class JobState:
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    VACATED = "vacated"   # preempted by owner activity; will be retried
+
+
+@dataclass
+class QueueJob:
+    """A job submitted to a queue system.
+
+    ``work`` is in abstract work units (1 unit = 1 second on a speed-1.0
+    node); ``estimated_runtime`` is the user's runtime estimate in seconds,
+    which backfill schedulers trust for planning (and which, realistically,
+    may be wrong).
+    """
+
+    work: float
+    nodes: int = 1
+    memory_mb: float = 32.0
+    estimated_runtime: Optional[float] = None
+    name: str = ""
+    on_complete: Optional[Callable[["QueueJob"], None]] = None
+
+    job_id: int = field(default_factory=itertools.count().__next__)
+    state: str = JobState.QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    remaining_work: float = field(default=0.0)
+    preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError("work must be non-negative")
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        self.remaining_work = float(self.work)
+        if not self.name:
+            self.name = f"qjob{self.job_id}"
+
+    @property
+    def wait_time(self) -> float:
+        if self.started_at is None:
+            return float("nan")
+        return self.started_at - self.submitted_at
+
+    @property
+    def turnaround(self) -> float:
+        if self.finished_at is None:
+            return float("nan")
+        return self.finished_at - self.submitted_at
+
+
+class QueueSystem:
+    """Abstract queue-management system bound to a simulator.
+
+    Subclasses implement :meth:`_schedule_pass`, called whenever the queue
+    state changes (submission, completion, cancellation, node-state change).
+    """
+
+    #: whether the underlying system natively supports advance reservations
+    supports_reservations = False
+
+    def __init__(self, sim: Simulator, nodes: int, node_speed: float = 1.0,
+                 name: str = "queue"):
+        if nodes < 1:
+            raise ResourceError("queue system needs at least one node")
+        self.sim = sim
+        self.name = name
+        self.total_nodes = nodes
+        self.node_speed = node_speed
+        self.queued: List[QueueJob] = []
+        self.running: Dict[int, QueueJob] = {}
+        self.completed: List[QueueJob] = []
+        self._busy_nodes = 0
+        self._epoch = 0
+
+    # -- public interface ---------------------------------------------------
+    def submit(self, job: QueueJob) -> QueueJob:
+        job.submitted_at = self.sim.now
+        job.state = JobState.QUEUED
+        self.queued.append(job)
+        self._schedule_pass()
+        return job
+
+    def cancel(self, job: QueueJob) -> bool:
+        if job.state == JobState.QUEUED and job in self.queued:
+            self.queued.remove(job)
+            job.state = JobState.CANCELLED
+            return True
+        if job.state == JobState.RUNNING:
+            self._stop_job(job)
+            job.state = JobState.CANCELLED
+            self._schedule_pass()
+            return True
+        return False
+
+    def status(self, job: QueueJob) -> str:
+        return job.state
+
+    @property
+    def free_nodes(self) -> int:
+        return self.total_nodes - self._busy_nodes
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queued)
+
+    def utilization_snapshot(self) -> float:
+        return self._busy_nodes / self.total_nodes
+
+    # -- machinery for subclasses ---------------------------------------------
+    def _runtime_of(self, job: QueueJob) -> float:
+        return job.remaining_work / self.node_speed
+
+    def _estimate_of(self, job: QueueJob) -> float:
+        if job.estimated_runtime is not None:
+            return job.estimated_runtime
+        return job.work / self.node_speed
+
+    def _start_job(self, job: QueueJob) -> None:
+        if job.nodes > self.free_nodes:
+            raise ResourceError(
+                f"{self.name}: cannot start {job.name}: needs {job.nodes} "
+                f"nodes, {self.free_nodes} free")
+        if job in self.queued:
+            self.queued.remove(job)
+        job.state = JobState.RUNNING
+        job.started_at = self.sim.now
+        self.running[job.job_id] = job
+        self._busy_nodes += job.nodes
+        epoch = self._epoch
+        finish_in = self._runtime_of(job)
+        self.sim.schedule(finish_in,
+                          lambda: self._complete_job(job, epoch))
+
+    def _stop_job(self, job: QueueJob) -> None:
+        """Remove a running job (cancel/preempt), releasing its nodes."""
+        if job.job_id in self.running:
+            # progress accounting: work done since start
+            started = (job.started_at if job.started_at is not None
+                       else self.sim.now)
+            elapsed = self.sim.now - started
+            job.remaining_work = max(
+                0.0, job.remaining_work - elapsed * self.node_speed)
+            del self.running[job.job_id]
+            self._busy_nodes -= job.nodes
+            self._epoch += 1
+            self._requeue_survivors()
+
+    def _requeue_survivors(self) -> None:
+        """Completion timers were epoch-invalidated; rearm for still-running
+        jobs."""
+        epoch = self._epoch
+        for job in self.running.values():
+            started = (job.started_at if job.started_at is not None
+                       else self.sim.now)
+            elapsed = self.sim.now - started
+            left = max(0.0,
+                       self._runtime_of(job) - elapsed)
+            self.sim.schedule(left, lambda j=job: self._complete_job(j, epoch))
+
+    def _complete_job(self, job: QueueJob, epoch: int) -> None:
+        if epoch != self._epoch or job.job_id not in self.running:
+            return
+        del self.running[job.job_id]
+        self._busy_nodes -= job.nodes
+        job.state = JobState.DONE
+        job.remaining_work = 0.0
+        job.finished_at = self.sim.now
+        self.completed.append(job)
+        self._schedule_pass()
+        if job.on_complete is not None:
+            job.on_complete(job)
+
+    def _schedule_pass(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,115 @@
+"""Cycle-scavenging workstation pool (the Condor family).
+
+Each workstation alternates between *owner-busy* and *idle* states (two-state
+semi-Markov process with exponential holding times).  Guest jobs run only on
+idle stations; when the owner returns the job is **vacated** — its progress
+is checkpointed (remaining work preserved) and it re-enters the queue to be
+matched to another idle station, exactly Condor's hunt for idle
+workstations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
+from .base import JobState, QueueJob, QueueSystem
+
+__all__ = ["CondorPool"]
+
+
+class _Station:
+    __slots__ = ("index", "owner_busy", "guest")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.owner_busy = False
+        self.guest: Optional[QueueJob] = None
+
+
+class CondorPool(QueueSystem):
+    """Opportunistic pool with owner-activity preemption."""
+
+    supports_reservations = False
+
+    def __init__(self, sim: Simulator, nodes: int, rngs: RngRegistry,
+                 node_speed: float = 1.0, name: str = "condor",
+                 mean_idle: float = 1800.0, mean_busy: float = 900.0,
+                 initially_busy_fraction: float = 0.3):
+        super().__init__(sim, nodes, node_speed, name)
+        self._rng = rngs.stream("condor", name)
+        self.mean_idle = mean_idle
+        self.mean_busy = mean_busy
+        self.stations: List[_Station] = [_Station(i) for i in range(nodes)]
+        self.vacations = 0
+        self._job_station: Dict[int, _Station] = {}
+        for st in self.stations:
+            st.owner_busy = bool(self._rng.random()
+                                 < initially_busy_fraction)
+            self._schedule_owner_flip(st)
+
+    # -- owner activity --------------------------------------------------------
+    def _schedule_owner_flip(self, st: _Station) -> None:
+        mean = self.mean_busy if st.owner_busy else self.mean_idle
+        delay = float(self._rng.exponential(mean))
+        self.sim.schedule(delay, lambda: self._owner_flip(st))
+
+    def _owner_flip(self, st: _Station) -> None:
+        st.owner_busy = not st.owner_busy
+        if st.owner_busy and st.guest is not None:
+            self._vacate(st)
+        self._schedule_owner_flip(st)
+        if not st.owner_busy:
+            self._schedule_pass()
+
+    def _vacate(self, st: _Station) -> None:
+        job = st.guest
+        st.guest = None
+        if job is None:
+            return
+        self._job_station.pop(job.job_id, None)
+        self._stop_job(job)  # checkpoints remaining work
+        job.state = JobState.VACATED
+        job.preemptions += 1
+        self.vacations += 1
+        self.queued.append(job)   # back of the queue, Condor-style retry
+        self._schedule_pass()
+
+    # -- matching ---------------------------------------------------------------
+    def idle_station_count(self) -> int:
+        return sum(1 for st in self.stations
+                   if not st.owner_busy and st.guest is None)
+
+    def _find_idle_station(self) -> Optional[_Station]:
+        for st in self.stations:
+            if not st.owner_busy and st.guest is None:
+                return st
+        return None
+
+    def _schedule_pass(self) -> None:
+        # match queued single-node jobs to idle stations, in queue order
+        i = 0
+        while i < len(self.queued):
+            job = self.queued[i]
+            if job.nodes != 1:
+                # a scavenged pool only runs sequential guests
+                i += 1
+                continue
+            st = self._find_idle_station()
+            if st is None:
+                return
+            job.state = JobState.QUEUED
+            self._start_job(job)       # removes from queue
+            st.guest = job
+            self._job_station[job.job_id] = st
+            # do not advance i: queued list shrank
+
+    def _complete_job(self, job: QueueJob, epoch: int) -> None:
+        st = self._job_station.get(job.job_id)
+        was_running = job.job_id in self.running
+        super()._complete_job(job, epoch)
+        if was_running and job.state == JobState.DONE and st is not None:
+            st.guest = None
+            self._job_station.pop(job.job_id, None)
+            self._schedule_pass()

@@ -1,0 +1,22 @@
+"""First-come-first-served space-sharing queue (LoadLeveler/Codine family).
+
+Jobs start strictly in submission order; a large job at the head blocks
+everything behind it even when smaller jobs would fit — the inefficiency
+that motivates backfill (see :mod:`repro.queues.backfill`).
+"""
+
+from __future__ import annotations
+
+from .base import QueueSystem
+
+__all__ = ["FCFSQueue"]
+
+
+class FCFSQueue(QueueSystem):
+    """Run jobs in arrival order as nodes permit."""
+
+    supports_reservations = False
+
+    def _schedule_pass(self) -> None:
+        while self.queued and self.queued[0].nodes <= self.free_nodes:
+            self._start_job(self.queued[0])

@@ -1,0 +1,15 @@
+"""The Schedule data structure (paper Fig. 5)."""
+
+from .mapping import ScheduleMapping
+from .schedule import (
+    FailureKind,
+    MasterSchedule,
+    ScheduleFeedback,
+    ScheduleRequestList,
+    VariantSchedule,
+)
+
+__all__ = [
+    "ScheduleMapping", "MasterSchedule", "VariantSchedule",
+    "ScheduleRequestList", "ScheduleFeedback", "FailureKind",
+]

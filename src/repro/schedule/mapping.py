@@ -1,0 +1,61 @@
+"""Schedule mappings: (Class LOID -> (Host LOID x Vault LOID)).
+
+"Both master and variant schedules contain a list of mappings, with each
+mapping having the type (Class LOID -> (Host LOID x Vault LOID)).  Each
+mapping indicates that an instance of the class should be started on the
+indicated (Host, Vault) pair." (paper section 3.3)
+
+The paper adds: "In the future, this mapping process may also select from
+among the available implementations of an object as well."  That future
+work is implemented via the optional :attr:`ScheduleMapping.implementation`
+field — a Scheduler may pin the binary to run, and the Class validates and
+honours the choice at instantiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..naming.loid import LOID
+from ..objects.class_object import Implementation
+
+__all__ = ["ScheduleMapping"]
+
+
+@dataclass(frozen=True)
+class ScheduleMapping:
+    """One object-instance placement decision."""
+
+    class_loid: LOID
+    host_loid: LOID
+    vault_loid: LOID
+    #: optional implementation selection (section 3.3 future work)
+    implementation: Optional[Implementation] = None
+    #: gang size: start this many instances with ONE reservation and ONE
+    #: multi-object StartObject call ("The StartObject function can create
+    #: one or more objects; this is important to support efficient object
+    #: creation for multiprocessor systems", section 3.1)
+    gang: int = 1
+
+    def __post_init__(self) -> None:
+        if self.gang < 1:
+            raise ValueError("gang size must be >= 1")
+
+    def __str__(self) -> str:
+        impl = (f" [{self.implementation.arch}/"
+                f"{self.implementation.os_name}]"
+                if self.implementation else "")
+        gang = f" x{self.gang}" if self.gang > 1 else ""
+        return (f"{self.class_loid} -> ({self.host_loid}, "
+                f"{self.vault_loid}){impl}{gang}")
+
+    def same_target(self, other: "ScheduleMapping") -> bool:
+        """True when both mappings name the same (Host, Vault) pair.
+
+        Used by the Enactor's anti-thrashing logic: a variant entry with the
+        same target as the master entry it replaces must not cause a
+        cancel-and-remake of the same reservation.
+        """
+        return (self.host_loid == other.host_loid
+                and self.vault_loid == other.vault_loid)

@@ -1,0 +1,37 @@
+"""Schedulers: the framework plus the paper's policies (Random, IRS) and
+the "smarter" policies its conclusion promises (load-aware, stencil-aware,
+round-robin, k-of-n), and the Fig. 2 layering strategies."""
+
+from .base import (
+    ObjectClassRequest,
+    Scheduler,
+    SchedulingOutcome,
+    implementation_query,
+)
+from .gang import GangScheduler
+from .irs import IRSScheduler
+from .kofn import KofNScheduler
+from .layering import (
+    AppDoesItAll,
+    AppWithRMServices,
+    CombinedSchedulerRM,
+    LayeringOutcome,
+    LayeringStrategy,
+    SeparateLayers,
+)
+from .load_aware import LoadAwareScheduler
+from .mct import MCTScheduler
+from .random_sched import RandomScheduler
+from .round_robin import RoundRobinScheduler
+from .stencil import StencilScheduler, grid_comm_cost, snake_order
+
+__all__ = [
+    "Scheduler", "ObjectClassRequest", "SchedulingOutcome",
+    "implementation_query",
+    "RandomScheduler", "IRSScheduler", "LoadAwareScheduler",
+    "MCTScheduler", "GangScheduler",
+    "RoundRobinScheduler", "StencilScheduler", "KofNScheduler",
+    "grid_comm_cost", "snake_order",
+    "LayeringStrategy", "LayeringOutcome", "AppDoesItAll",
+    "AppWithRMServices", "CombinedSchedulerRM", "SeparateLayers",
+]

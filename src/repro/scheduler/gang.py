@@ -1,0 +1,80 @@
+"""Gang Scheduler — SMP-efficient placement via multi-object StartObject.
+
+Paper section 3.1: "The StartObject function can create one or more
+objects; this is important to support efficient object creation for
+multiprocessor systems."
+
+This Scheduler packs instances into gangs of up to ``gang_size`` (by
+default the destination's CPU count) on multiprocessor hosts: each gang
+is ONE schedule entry → ONE reservation → ONE create call on the Class →
+ONE multi-object StartObject on the Host.  Against one-instance-per-entry
+placement, message count per instance drops by roughly the gang factor
+(measured in E21).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..collection.records import CollectionRecord
+from ..errors import SchedulingError
+from ..schedule.mapping import ScheduleMapping
+from ..schedule.schedule import MasterSchedule, ScheduleRequestList
+from .base import ObjectClassRequest, Scheduler
+
+__all__ = ["GangScheduler"]
+
+
+class GangScheduler(Scheduler):
+    """Pack instances into per-host gangs, biggest SMPs first."""
+
+    def __init__(self, *args, gang_size: int = 0, **kwargs):
+        """``gang_size=0`` (default) uses each host's CPU count as its
+        gang capacity; a positive value caps gangs uniformly."""
+        super().__init__(*args, **kwargs)
+        if gang_size < 0:
+            raise ValueError("gang_size must be >= 0")
+        self.gang_size = gang_size
+
+    def _capacity_of(self, record: CollectionRecord) -> int:
+        cpus = int(record.get("host_cpus", 1))
+        slots = int(record.get("host_slots_free", cpus))
+        capacity = min(max(cpus, 1), max(slots, 0))
+        if self.gang_size:
+            capacity = min(capacity, self.gang_size)
+        return capacity
+
+    def compute_schedule(self, requests: Sequence[ObjectClassRequest]
+                         ) -> ScheduleRequestList:
+        entries: List[ScheduleMapping] = []
+        for request in requests:
+            class_obj = request.class_obj
+            records = self.viable_hosts(class_obj,
+                                        extra_query="$host_slots_free > 0")
+            if not records:
+                raise SchedulingError(
+                    f"no viable hosts for class {class_obj.name!r}")
+            # biggest machines first, then least loaded
+            records.sort(key=lambda r: (-self._capacity_of(r),
+                                        float(r.get("host_load", 0.0)),
+                                        r.member))
+            remaining = request.count
+            for record in records:
+                if remaining <= 0:
+                    break
+                capacity = self._capacity_of(record)
+                if capacity < 1:
+                    continue
+                gang = min(capacity, remaining)
+                vaults = self.compatible_vaults_of(record)
+                if not vaults:
+                    continue
+                entries.append(ScheduleMapping(
+                    class_obj.loid, record.member, vaults[0], gang=gang))
+                remaining -= gang
+            if remaining > 0:
+                raise SchedulingError(
+                    f"insufficient aggregate capacity: {remaining} of "
+                    f"{request.count} instances unplaced")
+        return ScheduleRequestList([MasterSchedule(entries, label="gang")],
+                                   label="gang")

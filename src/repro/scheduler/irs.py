@@ -1,0 +1,97 @@
+"""The Improved Random Scheduler — IRS (paper section 4.2, Figs. 8-9).
+
+"The improvement we focus on is not in the basic algorithm; the IRS still
+selects a random Host and Vault pair.  Rather, we will compute multiple
+schedules and accommodate negative feedback from the Enactor."
+
+IRS_Gen_Placement (Fig. 8): generate ``n`` random mappings per object
+instance with a *single* Collection lookup per class ("IRS does fewer
+lookups in the Collection"); the master schedule takes the first mapping of
+each instance, and variant ``l`` (l = 2..n) contains, for each instance, its
+l-th mapping — but only those entries "that do not appear in the master
+list".
+
+IRS_Wrapper (Fig. 9): up to ``SchedTryLimit`` schedule generations, each
+offered to the Enactor up to ``EnactTryLimit`` times; the base class
+:meth:`~repro.scheduler.base.Scheduler.run` implements exactly this loop,
+parameterized by the two limits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import SchedulingError
+from ..naming.loid import LOID
+from ..schedule.mapping import ScheduleMapping
+from ..schedule.schedule import (
+    MasterSchedule,
+    ScheduleRequestList,
+    VariantSchedule,
+)
+from .base import ObjectClassRequest, Scheduler
+
+__all__ = ["IRSScheduler"]
+
+
+class IRSScheduler(Scheduler):
+    """IRS_Gen_Placement + IRS_Wrapper."""
+
+    def __init__(self, *args, n_schedules: int = 4,
+                 sched_try_limit: int = 3, enact_try_limit: int = 2,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        if n_schedules < 1:
+            raise ValueError("n_schedules (NSched) must be >= 1")
+        #: NSched — mappings generated per object instance
+        self.n_schedules = n_schedules
+        # the Fig. 9 wrapper globals
+        self.sched_try_limit = sched_try_limit
+        self.enact_try_limit = enact_try_limit
+
+    def _random_pair(self, records) -> Tuple[LOID, LOID]:
+        record = records[self.rng.integers(0, len(records))]
+        vaults = self.compatible_vaults_of(record)
+        if not vaults:
+            raise SchedulingError(
+                f"host {record.member} advertises no compatible vaults")
+        vault = vaults[self.rng.integers(0, len(vaults))]
+        return self.host_loid_of(record), vault
+
+    def compute_schedule(self, requests: Sequence[ObjectClassRequest]
+                         ) -> ScheduleRequestList:
+        n = self.n_schedules
+        # per-instance candidate lists: instance_lists[j][l] is the l-th
+        # mapping generated for instance j
+        instance_lists: List[List[ScheduleMapping]] = []
+        for request in requests:                    # for each ObjectClass O
+            class_obj = request.class_obj
+            # one Collection lookup per class, reused for all n candidates
+            records = self.viable_hosts(class_obj)
+            if not records:
+                raise SchedulingError(
+                    f"no viable hosts for class {class_obj.name!r}")
+            for _i in range(request.count):         # for i := 1 to k
+                candidates: List[ScheduleMapping] = []
+                for _l in range(n):                 # for l := 1 to n
+                    host, vault = self._random_pair(records)
+                    candidates.append(ScheduleMapping(
+                        class_loid=class_obj.loid, host_loid=host,
+                        vault_loid=vault))
+                instance_lists.append(candidates)
+
+        # master schedule = first item from each object instance list
+        master_entries = [cands[0] for cands in instance_lists]
+        master = MasterSchedule(master_entries, label="irs-master")
+
+        # for l := 2 to n: the l-th component of each instance list,
+        # keeping only entries that do not appear in the master list
+        for l in range(1, n):
+            replacements: Dict[int, ScheduleMapping] = {}
+            for j, cands in enumerate(instance_lists):
+                if not cands[l].same_target(master_entries[j]):
+                    replacements[j] = cands[l]
+            if replacements:
+                master.add_variant(VariantSchedule(
+                    replacements, label=f"irs-variant-{l}"))
+        return ScheduleRequestList([master], label="irs")

@@ -1,0 +1,67 @@
+"""Round-robin Scheduler: a deterministic baseline between Random and the
+load-aware policy.  Instances are dealt across the viable hosts in LOID
+order, remembering the rotation point across calls so successive requests
+keep spreading."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import SchedulingError
+from ..schedule.mapping import ScheduleMapping
+from ..schedule.schedule import (
+    MasterSchedule,
+    ScheduleRequestList,
+    VariantSchedule,
+)
+from .base import ObjectClassRequest, Scheduler
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deal instances across viable hosts in a stable rotation."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._cursor: Dict[str, int] = {}
+
+    def compute_schedule(self, requests: Sequence[ObjectClassRequest]
+                         ) -> ScheduleRequestList:
+        master_entries: List[ScheduleMapping] = []
+        alternatives: List[ScheduleMapping] = []
+        for request in requests:
+            class_obj = request.class_obj
+            records = sorted(self.viable_hosts(class_obj),
+                             key=lambda r: r.member)
+            if not records:
+                raise SchedulingError(
+                    f"no viable hosts for class {class_obj.name!r}")
+            key = str(class_obj.loid)
+            cursor = self._cursor.get(key, 0)
+            for _i in range(request.count):
+                record = records[cursor % len(records)]
+                alt = records[(cursor + 1) % len(records)]
+                cursor += 1
+                vaults = self.compatible_vaults_of(record)
+                alt_vaults = self.compatible_vaults_of(alt)
+                if not vaults or not alt_vaults:
+                    raise SchedulingError(
+                        f"host {record.member} advertises no compatible "
+                        f"vaults")
+                master_entries.append(ScheduleMapping(
+                    class_loid=class_obj.loid, host_loid=record.member,
+                    vault_loid=vaults[0]))
+                alternatives.append(ScheduleMapping(
+                    class_loid=class_obj.loid, host_loid=alt.member,
+                    vault_loid=alt_vaults[0]))
+            self._cursor[key] = cursor
+
+        master = MasterSchedule(master_entries, label="round-robin")
+        replacements = {
+            j: alt for j, alt in enumerate(alternatives)
+            if not alt.same_target(master_entries[j])}
+        if replacements:
+            master.add_variant(VariantSchedule(replacements,
+                                               label="rr-next"))
+        return ScheduleRequestList([master], label="round-robin")

@@ -1,0 +1,240 @@
+"""Parametric samplers used by the metasystem substrate.
+
+Each distribution is a small immutable object with a ``sample(rng)`` method
+taking a :class:`numpy.random.Generator`; workload and latency models are
+configured with these so experiments can sweep distributional assumptions
+without touching component code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "Normal",
+    "LogNormal",
+    "Pareto",
+    "Weibull",
+    "Empirical",
+    "Shifted",
+    "Clipped",
+]
+
+
+class Distribution:
+    """Abstract sampler.  Subclasses must implement :meth:`sample`."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Vectorized sampling; the default loops, subclasses vectorize."""
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+    @property
+    def mean(self) -> float:
+        """Analytic mean where known; ``nan`` otherwise."""
+        return float("nan")
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """Degenerate distribution: always ``value``."""
+
+    value: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.value)
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, float(self.value))
+
+    @property
+    def mean(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.high < self.low:
+            raise ValueError(f"Uniform high {self.high} < low {self.low}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given *mean* (not rate)."""
+
+    mean_value: float
+
+    def __post_init__(self):
+        if self.mean_value <= 0:
+            raise ValueError("Exponential mean must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_value))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean_value, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class Normal(Distribution):
+    mu: float
+    sigma: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.normal(self.mu, self.sigma))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.normal(self.mu, self.sigma, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal parameterized by the underlying normal's mu/sigma."""
+
+    mu: float
+    sigma: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=n)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma ** 2)
+
+
+@dataclass(frozen=True)
+class Pareto(Distribution):
+    """Pareto (heavy tail) with shape ``alpha`` and scale ``xm`` (minimum)."""
+
+    alpha: float
+    xm: float = 1.0
+
+    def __post_init__(self):
+        if self.alpha <= 0 or self.xm <= 0:
+            raise ValueError("Pareto alpha and xm must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.xm * (1.0 + rng.pareto(self.alpha)))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.xm * (1.0 + rng.pareto(self.alpha, size=n))
+
+    @property
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            return float("inf")
+        return self.alpha * self.xm / (self.alpha - 1)
+
+
+@dataclass(frozen=True)
+class Weibull(Distribution):
+    """Weibull with shape ``k`` and scale ``lam`` — used for failure times."""
+
+    k: float
+    lam: float = 1.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.lam * rng.weibull(self.k))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.lam * rng.weibull(self.k, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self.lam * math.gamma(1.0 + 1.0 / self.k)
+
+
+class Empirical(Distribution):
+    """Resample uniformly from an observed trace."""
+
+    def __init__(self, values: Sequence[float]):
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError("Empirical requires at least one value")
+        self.values = arr
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.values[rng.integers(0, self.values.size)])
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        idx = rng.integers(0, self.values.size, size=n)
+        return self.values[idx]
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Empirical(n={self.values.size}, mean={self.mean:.3g})"
+
+
+@dataclass(frozen=True)
+class Shifted(Distribution):
+    """``base + offset`` — e.g. a minimum network propagation delay."""
+
+    base: Distribution
+    offset: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.base.sample(rng) + self.offset
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.base.sample_n(rng, n) + self.offset
+
+    @property
+    def mean(self) -> float:
+        return self.base.mean + self.offset
+
+
+@dataclass(frozen=True)
+class Clipped(Distribution):
+    """Clamp a base distribution into ``[low, high]``."""
+
+    base: Distribution
+    low: float = 0.0
+    high: float = float("inf")
+
+    def __post_init__(self):
+        if self.high < self.low:
+            raise ValueError("Clipped high < low")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(min(max(self.base.sample(rng), self.low), self.high))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.clip(self.base.sample_n(rng, n), self.low, self.high)

@@ -1,0 +1,5 @@
+"""Command-line tools for driving simulated metasystem scenarios."""
+
+from .cli import build_parser, main
+
+__all__ = ["main", "build_parser"]

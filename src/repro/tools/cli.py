@@ -1,0 +1,215 @@
+"""``legion-sim`` — command-line driver for simulated metasystem scenarios.
+
+Real Legion shipped user tools (``legion_ls``, ``legion_run``, ...); this
+module provides their simulated analogues over a reproducible testbed:
+
+.. code-block:: console
+
+   $ legion-sim hosts --domains 2 --hosts 4
+   $ legion-sim context --domains 2 --hosts 4
+   $ legion-sim query '$host_load < 1 and $host_arch == "sparc"'
+   $ legion-sim run --count 6 --scheduler irs --work 200
+   $ legion-sim bench --scheduler random --scheduler load --count 8
+
+Every invocation builds the same seeded testbed (``--seed``), so outputs
+are reproducible and scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..bench.harness import ExperimentTable
+from ..metasystem import Metasystem
+from ..scheduler.base import ObjectClassRequest
+from ..workload.applications import wait_for_completion
+from ..workload.testbed import (
+    TestbedSpec,
+    build_testbed,
+    implementations_for_all_platforms,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_meta(args: argparse.Namespace) -> Metasystem:
+    return build_testbed(TestbedSpec(
+        n_domains=args.domains,
+        hosts_per_domain=args.hosts,
+        platform_mix=args.platforms,
+        background_load_mean=args.load,
+        seed=args.seed))
+
+
+def _add_testbed_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--domains", type=int, default=2,
+                        help="administrative domains (default 2)")
+    parser.add_argument("--hosts", type=int, default=4,
+                        help="hosts per domain (default 4)")
+    parser.add_argument("--platforms", type=int, default=2,
+                        help="distinct platforms in the mix (default 2)")
+    parser.add_argument("--load", type=float, default=0.5,
+                        help="mean background load (default 0.5)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="experiment seed (default 0)")
+
+
+def cmd_hosts(args: argparse.Namespace, out) -> int:
+    meta = _build_meta(args)
+    table = ExperimentTable("hosts", ["name", "domain", "arch", "os",
+                                      "cpus", "speed", "load",
+                                      "slots free"])
+    for host in meta.hosts:
+        spec = host.machine.spec
+        table.add(host.machine.name, host.domain, spec.arch, spec.os_name,
+                  spec.cpus, spec.speed,
+                  round(host.machine.load_average, 2), host.free_slots)
+    table.print(out)
+    return 0
+
+
+def cmd_vaults(args: argparse.Namespace, out) -> int:
+    meta = _build_meta(args)
+    table = ExperimentTable("vaults", ["name", "domain", "capacity (GB)",
+                                       "OPRs"])
+    for vault in meta.vaults:
+        table.add(vault.location.node_id, vault.location.domain,
+                  vault.capacity_bytes / 1e9, vault.opr_count())
+    table.print(out)
+    return 0
+
+
+def cmd_context(args: argparse.Namespace, out) -> int:
+    meta = _build_meta(args)
+    for path, loid in meta.context.walk():
+        print(f"{path:32s} {loid}", file=out)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace, out) -> int:
+    meta = _build_meta(args)
+    try:
+        records = meta.collection.query(args.expression)
+    except Exception as exc:
+        print(f"query error: {exc}", file=out)
+        return 2
+    for record in records:
+        print(f"{record.get('host_name', '?'):16s} {record.member}",
+              file=out)
+    print(f"{len(records)} record(s)", file=out)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    meta = _build_meta(args)
+    app = meta.create_class("cli-app",
+                            implementations_for_all_platforms(),
+                            work_units=args.work)
+    try:
+        scheduler = meta.make_scheduler(args.scheduler)
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+    outcome = scheduler.run([ObjectClassRequest(app, count=args.count)])
+    if not outcome.ok:
+        print(f"placement failed: {outcome.detail}", file=out)
+        return 1
+    print(f"placed {len(outcome.created)} instance(s) via "
+          f"{args.scheduler} in {outcome.elapsed * 1e3:.1f} virtual ms "
+          f"({outcome.collection_queries} Collection queries)", file=out)
+    for mapping in outcome.feedback.reserved_entries:
+        print(f"  {mapping}", file=out)
+    if args.wait:
+        n, t = wait_for_completion(meta, app, outcome.created)
+        print(f"{n}/{len(outcome.created)} completed by virtual "
+              f"t={t:.1f}s", file=out)
+    if args.trace:
+        from ..bench.sequence import protocol_trace
+        print(file=out)
+        print(protocol_trace(meta.tracer, limit=args.trace), file=out)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace, out) -> int:
+    table = ExperimentTable(
+        f"scheduler comparison: {args.count} x {args.work:.0f}-unit tasks",
+        ["scheduler", "ok", "makespan (s)", "sched latency (ms)"])
+    for kind in args.scheduler or ["random", "irs", "load"]:
+        meta = _build_meta(args)
+        app = meta.create_class("cli-app",
+                                implementations_for_all_platforms(),
+                                work_units=args.work)
+        try:
+            scheduler = meta.make_scheduler(kind)
+        except ValueError as exc:
+            print(str(exc), file=out)
+            return 2
+        outcome = scheduler.run([ObjectClassRequest(app,
+                                                    count=args.count)])
+        makespan = float("nan")
+        if outcome.ok:
+            n, t = wait_for_completion(meta, app, outcome.created)
+            if n == len(outcome.created):
+                makespan = t
+        table.add(kind, outcome.ok, makespan, outcome.elapsed * 1e3)
+    table.print(out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="legion-sim",
+        description="Drive a simulated Legion metasystem from the "
+                    "command line.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("hosts", help="list simulated hosts")
+    _add_testbed_args(p)
+    p.set_defaults(fn=cmd_hosts)
+
+    p = sub.add_parser("vaults", help="list vaults")
+    _add_testbed_args(p)
+    p.set_defaults(fn=cmd_vaults)
+
+    p = sub.add_parser("context", help="walk the context space")
+    _add_testbed_args(p)
+    p.set_defaults(fn=cmd_context)
+
+    p = sub.add_parser("query", help="query the Collection")
+    _add_testbed_args(p)
+    p.add_argument("expression", help="Collection query expression")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("run", help="schedule instances of a class")
+    _add_testbed_args(p)
+    p.add_argument("--count", type=int, default=4)
+    p.add_argument("--work", type=float, default=200.0)
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn")
+    p.add_argument("--wait", action="store_true",
+                   help="advance virtual time until completion")
+    p.add_argument("--trace", type=int, default=0, metavar="N",
+                   help="print a sequence diagram of the first N "
+                        "protocol invocations")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("bench", help="compare schedulers on one workload")
+    _add_testbed_args(p)
+    p.add_argument("--count", type=int, default=6)
+    p.add_argument("--work", type=float, default=200.0)
+    p.add_argument("--scheduler", action="append",
+                   help="repeatable; default random, irs, load")
+    p.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args, out or sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Vault Objects: persistent storage for Object Persistent Representations."""
+
+from .vault_object import VaultObject
+
+__all__ = ["VaultObject"]

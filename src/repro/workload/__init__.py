@@ -1,0 +1,26 @@
+"""Workloads: testbed builders, application models, arrival generators."""
+
+from .applications import (
+    BagOfTasks,
+    ParameterStudy,
+    RunReport,
+    StencilApplication,
+    wait_for_completion,
+)
+from .generator import ArrivalProcess, RequestStream, StreamStats
+from .testbed import (
+    PLATFORMS,
+    TestbedSpec,
+    build_testbed,
+    implementations_for_all_platforms,
+    multi_domain,
+    small_campus,
+)
+
+__all__ = [
+    "BagOfTasks", "ParameterStudy", "StencilApplication", "RunReport",
+    "wait_for_completion",
+    "ArrivalProcess", "RequestStream", "StreamStats",
+    "TestbedSpec", "build_testbed", "small_campus", "multi_domain",
+    "PLATFORMS", "implementations_for_all_platforms",
+]

@@ -1,0 +1,103 @@
+"""Arrival-process workload generation.
+
+For throughput/contention experiments (E5, E9, E10) we need a stream of
+scheduling requests arriving over virtual time, not a single batch.
+:class:`ArrivalProcess` samples inter-arrival gaps from a distribution and
+invokes a callback per arrival; :class:`RequestStream` specializes it to
+"schedule ``k`` instances of class ``C``" requests with recorded outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..scheduler.base import ObjectClassRequest, Scheduler, SchedulingOutcome
+from ..sim.distributions import Distribution, Exponential
+from ..sim.kernel import Simulator
+
+__all__ = ["ArrivalProcess", "RequestStream", "StreamStats"]
+
+
+class ArrivalProcess:
+    """Schedules ``callback(i)`` at stochastic arrival times."""
+
+    def __init__(self, sim: Simulator, rng: np.random.Generator,
+                 interarrival: Distribution,
+                 callback: Callable[[int], None],
+                 count: Optional[int] = None,
+                 stop_time: Optional[float] = None):
+        if count is None and stop_time is None:
+            raise ValueError("bound the process with count or stop_time")
+        self.sim = sim
+        self.rng = rng
+        self.interarrival = interarrival
+        self.callback = callback
+        self.count = count
+        self.stop_time = stop_time
+        self.arrivals = 0
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = max(0.0, float(self.interarrival.sample(self.rng)))
+        when = self.sim.now + gap
+        if self.stop_time is not None and when > self.stop_time:
+            return
+        self.sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        if self.count is not None and self.arrivals >= self.count:
+            return
+        self.callback(self.arrivals)
+        self.arrivals += 1
+        if self.count is None or self.arrivals < self.count:
+            self._schedule_next()
+
+
+@dataclass
+class StreamStats:
+    submitted: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    outcomes: List[SchedulingOutcome] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        if self.submitted == 0:
+            return float("nan")
+        return self.succeeded / self.submitted
+
+
+class RequestStream:
+    """A stream of identical placement requests driven by arrivals."""
+
+    def __init__(self, sim: Simulator, scheduler: Scheduler,
+                 requests: List[ObjectClassRequest],
+                 rng: np.random.Generator,
+                 mean_interarrival: float = 60.0,
+                 count: int = 20,
+                 reservation_duration: float = 600.0):
+        self.scheduler = scheduler
+        self.requests = requests
+        self.reservation_duration = reservation_duration
+        self.stats = StreamStats()
+        self._process = ArrivalProcess(
+            sim, rng, Exponential(mean_interarrival), self._submit,
+            count=count)
+
+    def _submit(self, _i: int) -> None:
+        self.stats.submitted += 1
+        outcome = self.scheduler.run(
+            self.requests, reservation_duration=self.reservation_duration)
+        self.stats.outcomes.append(outcome)
+        if outcome.ok:
+            self.stats.succeeded += 1
+        else:
+            self.stats.failed += 1
+
+    def start(self) -> None:
+        self._process.start()

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Implementation, MachineSpec, Metasystem
+from repro.workload import small_campus
+
+
+@pytest.fixture
+def meta():
+    """A minimal single-domain metasystem with 4 homogeneous hosts, one
+    vault, and no background-load dynamics (fully deterministic)."""
+    m = Metasystem(seed=7)
+    m.add_domain("uva")
+    for i in range(4):
+        m.add_unix_host(f"ws{i}", "uva",
+                        MachineSpec(arch="sparc", os_name="SunOS"),
+                        slots=4)
+    m.add_vault("uva", name="uva-vault")
+    return m
+
+
+@pytest.fixture
+def app_class(meta):
+    """A class with 100-unit jobs runnable on the meta fixture's hosts."""
+    return meta.create_class(
+        "App", [Implementation("sparc", "SunOS")], work_units=100.0)
+
+
+@pytest.fixture
+def campus():
+    """A livelier testbed: 8 hosts, 2 platforms, load dynamics."""
+    return small_campus(seed=3)
+
+
+@pytest.fixture
+def multi():
+    """Three domains with heterogeneity and a vault each."""
+    from repro.workload import multi_domain
+    return multi_domain(n_domains=3, hosts_per_domain=4, seed=5,
+                        dynamics=False)

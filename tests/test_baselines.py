@@ -1,0 +1,97 @@
+"""Tests for the related-work baselines (section 5)."""
+
+import pytest
+
+from repro import Implementation, ObjectClassRequest
+from repro.baselines import (
+    CentralQueueBaseline,
+    DictatorialScheduler,
+    GlobusStyleBroker,
+)
+from repro.hosts.policy import DomainBlacklist, LoadCeiling
+
+
+class TestGlobusBroker:
+    def broker(self, meta, **kw):
+        return GlobusStyleBroker(meta.collection, meta.transport,
+                                 meta.resolve,
+                                 rng=meta.rngs.stream("t", "broker"), **kw)
+
+    def test_places_without_reservations(self, meta, app_class):
+        broker = self.broker(meta)
+        outcome = broker.run([ObjectClassRequest(app_class, 2)])
+        assert outcome.ok and len(outcome.created) == 2
+        # no reservations were ever requested
+        assert all(h.reservations.grants == 0 for h in meta.hosts)
+
+    def test_retries_from_scratch(self, meta, app_class):
+        # make every host refuse: the broker retries then gives up
+        for host in meta.hosts:
+            host.policy = LoadCeiling(max_load=-1.0)
+        broker = self.broker(meta, retry_limit=3)
+        outcome = broker.run([ObjectClassRequest(app_class, 1)])
+        assert not outcome.ok
+        assert outcome.attempts == 3
+
+    def test_no_partial_placements_survive_failure(self, meta, app_class):
+        # 3 hosts fine, one poisoned: with several tasks the broker will
+        # eventually hit the poisoned host and roll everything back
+        meta.hosts[0].policy = LoadCeiling(max_load=-1.0)
+        broker = self.broker(meta, retry_limit=1)
+        outcome = broker.run([ObjectClassRequest(app_class, 8)])
+        if not outcome.ok:
+            assert outcome.created == []
+            assert len(app_class.instances) == 0
+
+    def test_unviable_class(self, meta):
+        alien = meta.create_class("Alien", [Implementation("vax", "VMS")])
+        broker = self.broker(meta)
+        outcome = broker.run([ObjectClassRequest(alien, 1)])
+        assert not outcome.ok
+
+
+class TestCentralQueue:
+    def test_submits_to_single_cluster(self, multi):
+        cluster = multi.add_batch_host("cluster", "dom0",
+                                       queue_kind="fcfs", nodes=4)
+        from repro.workload import implementations_for_all_platforms
+        app = multi.create_class("Sweep",
+                                 implementations_for_all_platforms(),
+                                 work_units=10.0)
+        baseline = CentralQueueBaseline(cluster, multi.transport)
+        outcome = baseline.run([ObjectClassRequest(app, 6)])
+        assert outcome.ok and len(outcome.created) == 6
+        # everything landed on the one cluster
+        for loid in outcome.created:
+            assert app.get_instance(loid).host_loid == cluster.loid
+
+    def test_rejects_incompatible_class(self, multi):
+        cluster = multi.add_batch_host("cluster", "dom0",
+                                       queue_kind="fcfs", nodes=4)
+        alien = multi.create_class("Alien", [Implementation("vax", "VMS")])
+        baseline = CentralQueueBaseline(cluster, multi.transport)
+        outcome = baseline.run([ObjectClassRequest(alien, 1)])
+        assert not outcome.ok
+        assert "no implementation" in outcome.detail
+
+
+class TestDictatorial:
+    def test_succeeds_in_policy_free_world(self, meta, app_class):
+        dictator = DictatorialScheduler(
+            meta.collection, meta.transport, meta.resolve,
+            rng=meta.rngs.stream("t", "dict"))
+        outcome = dictator.run([ObjectClassRequest(app_class, 2)])
+        assert outcome.ok
+
+    def test_autonomy_defeats_dictator(self, meta, app_class):
+        # every host enforces a policy the dictator ignores
+        for host in meta.hosts:
+            host.policy = DomainBlacklist([""])  # refuses empty domain
+            host.reassess()
+        dictator = DictatorialScheduler(
+            meta.collection, meta.transport, meta.resolve,
+            rng=meta.rngs.stream("t", "dict2"))
+        outcome = dictator.run([ObjectClassRequest(app_class, 4)])
+        assert not outcome.ok
+        assert outcome.refused == 4
+        assert outcome.created == []

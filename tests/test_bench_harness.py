@@ -1,0 +1,117 @@
+"""Tests for the experiment-table harness and shared metrics."""
+
+import io
+import math
+
+import pytest
+
+from repro.bench import (
+    Experiment,
+    ExperimentTable,
+    fmt,
+    host_load_imbalance,
+    mean_or_nan,
+    placement_spread,
+    success_rate,
+)
+from repro.scheduler.base import SchedulingOutcome
+
+
+class TestFmt:
+    @pytest.mark.parametrize("value,expected", [
+        (True, "yes"),
+        (False, "no"),
+        (3, "3"),
+        ("text", "text"),
+        (1.5, "1.500"),
+        (float("nan"), "nan"),
+        (float("inf"), "inf"),
+    ])
+    def test_basic(self, value, expected):
+        assert fmt(value) == expected
+
+    def test_large_and_tiny_use_scientific(self):
+        assert "e" in fmt(123456.789) or "E" in fmt(123456.789)
+        assert "e" in fmt(0.000012)
+
+    def test_precision(self):
+        assert fmt(1.23456, precision=2) == "1.23"
+
+
+class TestExperimentTable:
+    def test_positional_rows(self):
+        table = ExperimentTable("t", ["a", "b"])
+        table.add(1, 2.5)
+        rendered = table.render()
+        assert "== t ==" in rendered
+        assert "2.500" in rendered
+
+    def test_named_rows(self):
+        table = ExperimentTable("t", ["a", "b"])
+        table.add(a=7, b="x")
+        assert table.as_dicts() == [{"a": "7", "b": "x"}]
+
+    def test_mixed_rejected(self):
+        table = ExperimentTable("t", ["a"])
+        with pytest.raises(ValueError):
+            table.add(1, a=2)
+
+    def test_wrong_arity_rejected(self):
+        table = ExperimentTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_alignment(self):
+        table = ExperimentTable("t", ["name", "v"])
+        table.add("short", 1)
+        table.add("a-much-longer-name", 2)
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_print_to_stream(self):
+        table = ExperimentTable("t", ["a"])
+        table.add(1)
+        buf = io.StringIO()
+        table.print(buf)
+        assert "== t ==" in buf.getvalue()
+
+
+class TestExperiment:
+    def test_run_prints_and_returns(self, capsys):
+        exp = Experiment("EX", "Fig. X",
+                         runner=lambda: ExperimentTable("inner", ["c"]))
+        table = exp.run()
+        out = capsys.readouterr().out
+        assert "[EX] Fig. X" in out
+        assert table.title == "inner"
+
+    def test_silent_mode(self, capsys):
+        exp = Experiment("EX", "Fig. X",
+                         runner=lambda: ExperimentTable("inner", ["c"]))
+        exp.run(print_table=False)
+        assert capsys.readouterr().out == ""
+
+
+class TestMetrics:
+    def test_success_rate(self):
+        outcomes = [SchedulingOutcome(ok=True), SchedulingOutcome(ok=False)]
+        assert success_rate(outcomes) == 0.5
+        assert math.isnan(success_rate([]))
+
+    def test_mean_or_nan(self):
+        assert mean_or_nan([1.0, float("nan"), 3.0]) == 2.0
+        assert math.isnan(mean_or_nan([float("nan")]))
+        assert math.isnan(mean_or_nan([]))
+
+    def test_placement_spread(self, meta, app_class):
+        from repro import ObjectClassRequest
+        sched = meta.make_scheduler("load")
+        outcome = sched.run([ObjectClassRequest(app_class, 3)])
+        assert placement_spread(outcome) == 3
+        assert placement_spread(SchedulingOutcome(ok=False)) == 0
+
+    def test_host_load_imbalance(self, meta):
+        assert host_load_imbalance(meta) == 0.0  # all idle
+        meta.hosts[0].machine.set_background_load(8.0)
+        assert host_load_imbalance(meta) > 0.5

@@ -1,0 +1,83 @@
+"""Tests for the legion-sim command-line tools."""
+
+import io
+
+import pytest
+
+from repro.tools import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestHostsAndVaults:
+    def test_hosts_table(self):
+        code, text = run_cli("hosts", "--domains", "2", "--hosts", "3")
+        assert code == 0
+        assert "dom0-ws0" in text
+        assert "dom1-ws2" in text
+        assert text.count("\n") >= 6 + 3  # 6 rows + header/sep/title
+
+    def test_vaults_table(self):
+        code, text = run_cli("vaults", "--domains", "2")
+        assert code == 0
+        assert "dom0-vault0" in text
+        assert "dom1-vault0" in text
+
+
+class TestContext:
+    def test_walk_lists_bindings(self):
+        code, text = run_cli("context", "--domains", "1", "--hosts", "2")
+        assert code == 0
+        assert "/hosts/dom0-ws0" in text
+        assert "/etc/Collection" in text
+
+
+class TestQuery:
+    def test_valid_query(self):
+        code, text = run_cli("query", "--domains", "1", "--hosts", "4",
+                             "$host_up == true")
+        assert code == 0
+        assert "4 record(s)" in text
+
+    def test_syntax_error_exit_code(self):
+        code, text = run_cli("query", "((($")
+        assert code == 2
+        assert "query error" in text
+
+
+class TestRun:
+    def test_run_places_instances(self):
+        code, text = run_cli("run", "--count", "3", "--scheduler",
+                             "random", "--load", "0")
+        assert code == 0
+        assert "placed 3 instance(s)" in text
+
+    def test_run_wait_reports_completion(self):
+        code, text = run_cli("run", "--count", "2", "--work", "50",
+                             "--wait", "--load", "0")
+        assert code == 0
+        assert "2/2 completed" in text
+
+    def test_unknown_scheduler(self):
+        code, text = run_cli("run", "--scheduler", "sorcery")
+        assert code == 2
+        assert "unknown scheduler" in text
+
+
+class TestBench:
+    def test_bench_compares_schedulers(self):
+        code, text = run_cli("bench", "--count", "3", "--work", "50",
+                             "--scheduler", "random", "--scheduler",
+                             "mct", "--load", "0")
+        assert code == 0
+        assert "random" in text
+        assert "mct" in text
+
+    def test_determinism_across_invocations(self):
+        a = run_cli("run", "--count", "2", "--seed", "9", "--load", "0")
+        b = run_cli("run", "--count", "2", "--seed", "9", "--load", "0")
+        assert a == b

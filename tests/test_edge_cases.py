@@ -1,0 +1,179 @@
+"""Edge-case tests across subsystems."""
+
+import pytest
+
+from repro import Implementation, MachineSpec, Metasystem, ObjectClassRequest
+from repro.enactor import Enactor
+from repro.queues import BackfillQueue, FCFSQueue, JobState, QueueJob
+from repro.schedule import (
+    MasterSchedule,
+    ScheduleMapping,
+    ScheduleRequestList,
+    VariantSchedule,
+)
+from repro.sim import Simulator
+
+
+class TestBackfillMisestimates:
+    def test_underestimated_jobs_still_complete(self):
+        """Users lie about runtimes; EASY planning degrades but never
+        wedges."""
+        sim = Simulator()
+        queue = BackfillQueue(sim, nodes=4)
+        jobs = [QueueJob(work=100.0, nodes=2, estimated_runtime=10.0,
+                         name=f"liar{i}") for i in range(4)]
+        jobs.append(QueueJob(work=10.0, nodes=4, estimated_runtime=10.0,
+                             name="wide"))
+        for job in jobs:
+            queue.submit(job)
+        sim.run()
+        assert all(j.state == JobState.DONE for j in jobs)
+
+    def test_overestimates_block_backfill_conservatively(self):
+        sim = Simulator()
+        queue = BackfillQueue(sim, nodes=2)
+        queue.submit(QueueJob(work=50.0, nodes=2, estimated_runtime=1000.0,
+                              name="running"))
+        queue.submit(QueueJob(work=10.0, nodes=2, estimated_runtime=10.0,
+                              name="head"))
+        # a 1-node job estimated to outlast the (over-)estimated shadow
+        trailing = QueueJob(work=900.0, nodes=1, estimated_runtime=900.0,
+                            name="trailing")
+        queue.submit(trailing)
+        sim.run_until(1.0)
+        # nothing is free (running holds both nodes), so queued
+        assert trailing.state == JobState.QUEUED
+        sim.run()
+        assert trailing.state == JobState.DONE
+
+
+class TestEnactorLimits:
+    def build(self, n_hosts=3, slots=1):
+        meta = Metasystem(seed=77)
+        meta.add_domain("d")
+        for i in range(n_hosts):
+            meta.add_unix_host(f"h{i}", "d",
+                               MachineSpec(arch="sparc", os_name="SunOS"),
+                               slots=slots)
+        meta.add_vault("d")
+        app = meta.create_class("A", [Implementation("sparc", "SunOS")],
+                                work_units=10.0)
+        return meta, app
+
+    def test_max_variant_attempts_bounds_work(self):
+        meta, app = self.build()
+        vault = meta.vaults[0]
+        full = meta.hosts[0]
+        # exhaust the target host
+        full.make_reservation(vault.loid, app.loid)
+        enactor = Enactor(meta.transport, meta.resolve,
+                          max_variant_attempts=1)
+        master = MasterSchedule(
+            [ScheduleMapping(app.loid, full.loid, vault.loid)])
+        # two variants exist, both also targeting the full host
+        master.add_variant(VariantSchedule(
+            {0: ScheduleMapping(app.loid, full.loid, vault.loid)},
+            label="v1"))
+        master.add_variant(VariantSchedule(
+            {0: ScheduleMapping(app.loid, full.loid, vault.loid)},
+            label="v2"))
+        feedback = enactor.make_reservations(ScheduleRequestList([master]))
+        assert not feedback.ok
+        assert enactor.stats.variant_attempts == 1  # capped
+
+    def test_cancel_after_cancel_is_zero(self):
+        meta, app = self.build()
+        vault = meta.vaults[0]
+        master = MasterSchedule(
+            [ScheduleMapping(app.loid, meta.hosts[0].loid, vault.loid)])
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([master]))
+        assert feedback.ok
+        assert meta.enactor.cancel_reservations(feedback) == 1
+        assert meta.enactor.cancel_reservations(feedback) == 0
+
+    def test_enact_after_cancel_creates_nothing(self):
+        meta, app = self.build()
+        vault = meta.vaults[0]
+        master = MasterSchedule(
+            [ScheduleMapping(app.loid, meta.hosts[0].loid, vault.loid)])
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([master]))
+        meta.enactor.cancel_reservations(feedback)
+        result = meta.enactor.enact_schedule(feedback)
+        # holdings were cleared: nothing created, nothing crashed
+        assert result.created == []
+
+
+class TestSchedulerRetryBehaviour:
+    def test_wrapper_gives_up_after_limits(self):
+        meta = Metasystem(seed=78)
+        meta.add_domain("d")
+        host = meta.add_unix_host("h0", "d",
+                                  MachineSpec(arch="sparc",
+                                              os_name="SunOS"),
+                                  slots=1)
+        meta.add_vault("d")
+        app = meta.create_class("A", [Implementation("sparc", "SunOS")],
+                                work_units=1e6)
+        sched = meta.make_scheduler("random")
+        sched.sched_try_limit = 2
+        sched.enact_try_limit = 2
+        first = sched.run([ObjectClassRequest(app, 1)])
+        assert first.ok
+        second = sched.run([ObjectClassRequest(app, 1)])
+        assert not second.ok
+        assert second.schedule_tries == 2
+        assert second.enact_tries == 4
+
+    def test_zero_latency_scheduling_is_instant(self):
+        from repro.net.latency import ZeroLatencyModel
+        meta = Metasystem(seed=79, latency_model=ZeroLatencyModel())
+        meta.add_domain("d")
+        meta.add_unix_host("h0", "d",
+                           MachineSpec(arch="sparc", os_name="SunOS"))
+        meta.add_vault("d")
+        app = meta.create_class("A", [Implementation("sparc", "SunOS")],
+                                work_units=1.0)
+        sched = meta.make_scheduler("random")
+        t0 = meta.now
+        outcome = sched.run([ObjectClassRequest(app, 1)])
+        assert outcome.ok
+        assert meta.now == t0  # no virtual time consumed
+
+
+class TestQueueEdgeCases:
+    def test_fcfs_cancel_done_job_noop(self):
+        sim = Simulator()
+        queue = FCFSQueue(sim, nodes=1)
+        job = QueueJob(work=1.0)
+        queue.submit(job)
+        sim.run()
+        assert job.state == JobState.DONE
+        assert not queue.cancel(job)
+
+    def test_resubmit_vacated_job_counts_progress_once(self):
+        sim = Simulator()
+        queue = FCFSQueue(sim, nodes=1)
+        job = QueueJob(work=100.0)
+        queue.submit(job)
+        sim.run_until(60.0)
+        queue.cancel(job)
+        assert job.remaining_work == pytest.approx(40.0)
+        job.state = JobState.QUEUED
+        queue.submit(job)
+        sim.run()
+        assert job.finished_at == pytest.approx(100.0)
+
+
+class TestAttributeEdges:
+    def test_record_view_len_and_iter(self, meta):
+        meta.collection.inject_attribute("extra", lambda rec: 1)
+        record = meta.collection.record_of(meta.hosts[0].loid)
+        from repro.collection.collection import _RecordView
+        view = _RecordView(record, meta.collection._computed)
+        names = list(view)
+        assert "loid" in names
+        assert "extra" in names
+        assert "host_arch" in names
+        assert len(view) == len(names)

@@ -1,0 +1,288 @@
+"""Tests for the Enactor: reservation negotiation, variant fallback,
+anti-thrashing, k-of-n, co-allocation, and enactment."""
+
+import pytest
+
+from repro.enactor import Enactor
+from repro.errors import MalformedScheduleError
+from repro.naming import LOID
+from repro.schedule import (
+    MasterSchedule,
+    ScheduleMapping,
+    ScheduleRequestList,
+    VariantSchedule,
+)
+from repro.schedule.schedule import FailureKind
+
+
+def entry(app_class, host, vault):
+    return ScheduleMapping(app_class.loid, host.loid, vault.loid)
+
+
+def fill_reservations(host, vault, app_class):
+    """Exhaust a host's reservation slots so new requests are denied."""
+    tokens = []
+    for _ in range(host.slots):
+        tokens.append(host.make_reservation(vault.loid, app_class.loid))
+    return tokens
+
+
+class TestMakeReservations:
+    def test_master_success(self, meta, app_class):
+        vault = meta.vaults[0]
+        entries = [entry(app_class, h, vault) for h in meta.hosts[:3]]
+        request = ScheduleRequestList([MasterSchedule(entries)])
+        feedback = meta.enactor.make_reservations(request)
+        assert feedback.ok
+        assert feedback.master_index == 0
+        assert feedback.variant is None
+        assert len(feedback.reserved_entries) == 3
+        assert feedback.reservation_handle is not None
+        # reservations actually live on the hosts
+        for host in meta.hosts[:3]:
+            assert host.reservations.live_count(meta.now) == 1
+
+    def test_requires_request_list_type(self, meta):
+        with pytest.raises(MalformedScheduleError):
+            meta.enactor.make_reservations("not a schedule")
+
+    def test_failure_reports_resources_kind(self, meta, app_class):
+        vault = meta.vaults[0]
+        host = meta.hosts[0]
+        fill_reservations(host, vault, app_class)
+        request = ScheduleRequestList(
+            [MasterSchedule([entry(app_class, host, vault)])])
+        feedback = meta.enactor.make_reservations(request)
+        assert not feedback.ok
+        assert feedback.failure_kind == FailureKind.RESOURCES
+        assert 0 in feedback.entry_errors
+
+    def test_variant_rescues_failed_entry(self, meta, app_class):
+        vault = meta.vaults[0]
+        full, free, other = meta.hosts[0], meta.hosts[1], meta.hosts[2]
+        fill_reservations(full, vault, app_class)
+        master = MasterSchedule([
+            entry(app_class, full, vault),     # will fail
+            entry(app_class, other, vault),    # will succeed
+        ])
+        master.add_variant(VariantSchedule(
+            {0: entry(app_class, free, vault)}, label="rescue"))
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([master]))
+        assert feedback.ok
+        assert feedback.variant is not None
+        assert feedback.variant.label == "rescue"
+        hosts_used = {m.host_loid for m in feedback.reserved_entries}
+        assert hosts_used == {free.loid, other.loid}
+
+    def test_antithrash_keeps_unaffected_reservations(self, meta,
+                                                      app_class):
+        vault = meta.vaults[0]
+        full, free, other = meta.hosts[0], meta.hosts[1], meta.hosts[2]
+        fill_reservations(full, vault, app_class)
+        master = MasterSchedule([
+            entry(app_class, full, vault),
+            entry(app_class, other, vault),
+        ])
+        # the variant replaces BOTH entries, but entry 1's replacement has
+        # the same target — anti-thrashing must keep its reservation
+        master.add_variant(VariantSchedule({
+            0: entry(app_class, free, vault),
+            1: entry(app_class, other, vault),
+        }))
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([master]))
+        assert feedback.ok
+        assert meta.enactor.stats.cancellations == 0
+        assert meta.enactor.stats.thrash_count == 0
+        assert other.reservations.grants == 1  # never re-asked
+
+    def test_naive_mode_thrashes(self, meta, app_class):
+        vault = meta.vaults[0]
+        full, free, other = meta.hosts[0], meta.hosts[1], meta.hosts[2]
+        fill_reservations(full, vault, app_class)
+        naive = Enactor(meta.transport, meta.resolve,
+                        naive_variant_handling=True)
+        master = MasterSchedule([
+            entry(app_class, full, vault),
+            entry(app_class, other, vault),
+        ])
+        master.add_variant(VariantSchedule({
+            0: entry(app_class, free, vault),
+            1: entry(app_class, other, vault),
+        }))
+        feedback = naive.make_reservations(ScheduleRequestList([master]))
+        assert feedback.ok
+        # the 'other' reservation was cancelled and remade: thrash
+        assert naive.stats.cancellations >= 1
+        assert naive.stats.thrash_count >= 1
+        assert other.reservations.grants == 2
+
+    def test_second_master_tried_after_first_fails(self, meta, app_class):
+        vault = meta.vaults[0]
+        full, free = meta.hosts[0], meta.hosts[1]
+        fill_reservations(full, vault, app_class)
+        bad = MasterSchedule([entry(app_class, full, vault)], label="bad")
+        good = MasterSchedule([entry(app_class, free, vault)], label="good")
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([bad, good]))
+        assert feedback.ok
+        assert feedback.master_index == 1
+        assert meta.enactor.stats.master_attempts == 2
+
+    def test_all_fail_cancels_everything(self, meta, app_class):
+        vault = meta.vaults[0]
+        full, free = meta.hosts[0], meta.hosts[1]
+        fill_reservations(full, vault, app_class)
+        # master has one feasible and one infeasible entry, no variants
+        master = MasterSchedule([
+            entry(app_class, free, vault),
+            entry(app_class, full, vault),
+        ])
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([master]))
+        assert not feedback.ok
+        # the granted 'free' reservation must have been released
+        assert free.reservations.live_count(meta.now) == 0
+
+    def test_unknown_host_in_schedule(self, meta, app_class):
+        vault = meta.vaults[0]
+        ghost = ScheduleMapping(app_class.loid,
+                                meta.minter.mint("host", "ghost"),
+                                vault.loid)
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([MasterSchedule([ghost])]))
+        assert not feedback.ok
+        assert "unknown host" in feedback.entry_errors[0]
+
+
+class TestKofN:
+    def test_keeps_k_cancels_surplus(self, meta, app_class):
+        vault = meta.vaults[0]
+        master = MasterSchedule(
+            [entry(app_class, h, vault) for h in meta.hosts],
+            required_k=2)
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([master]))
+        assert feedback.ok
+        assert len(feedback.reserved_entries) == 2
+        live = sum(h.reservations.live_count(meta.now) for h in meta.hosts)
+        assert live == 2
+
+    def test_kofn_fails_below_k(self, meta, app_class):
+        vault = meta.vaults[0]
+        for host in meta.hosts[1:]:
+            fill_reservations(host, vault, app_class)
+        master = MasterSchedule(
+            [entry(app_class, h, vault) for h in meta.hosts],
+            required_k=2)
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([master]))
+        assert not feedback.ok
+        assert "k-of-n" in feedback.failure_detail
+        # the single obtained reservation must be released
+        assert meta.hosts[0].reservations.live_count(meta.now) == 0
+
+
+class TestEnactment:
+    def reserved(self, meta, app_class, n=2):
+        vault = meta.vaults[0]
+        entries = [entry(app_class, h, vault) for h in meta.hosts[:n]]
+        request = ScheduleRequestList([MasterSchedule(entries)])
+        return meta.enactor.make_reservations(request)
+
+    def test_enact_creates_instances(self, meta, app_class):
+        feedback = self.reserved(meta, app_class)
+        result = meta.enactor.enact_schedule(feedback)
+        assert result.ok
+        assert len(result.created) == 2
+        for loid in result.created:
+            instance = app_class.get_instance(loid)
+            assert instance.is_active
+            assert instance.host_loid in {h.loid for h in meta.hosts[:2]}
+
+    def test_enact_requires_successful_feedback(self, meta, app_class):
+        from repro.errors import EnactmentError
+        from repro.schedule import ScheduleFeedback
+        bogus = ScheduleFeedback(request=None, ok=False)
+        with pytest.raises(EnactmentError):
+            meta.enactor.enact_schedule(bogus)
+
+    def test_double_enact_rejected(self, meta, app_class):
+        from repro.errors import EnactmentError
+        feedback = self.reserved(meta, app_class)
+        meta.enactor.enact_schedule(feedback)
+        with pytest.raises(EnactmentError):
+            meta.enactor.enact_schedule(feedback)
+
+    def test_cancel_releases_reservations(self, meta, app_class):
+        feedback = self.reserved(meta, app_class)
+        n = meta.enactor.cancel_reservations(feedback)
+        assert n == 2
+        for host in meta.hosts[:2]:
+            assert host.reservations.live_count(meta.now) == 0
+
+    def test_enact_rollback_on_partial_failure(self, meta, app_class):
+        vault = meta.vaults[0]
+        host = meta.hosts[0]
+        feedback = self.reserved(meta, app_class, n=2)
+        # sabotage: fill host 0's slots so create_instance will fail there
+        from repro.objects import LegionObject
+        for _ in range(host.slots):
+            inst = LegionObject(meta.minter.mint_instance(app_class.loid),
+                                app_class.loid)
+            host.start_object(inst, vault.loid)
+        result = meta.enactor.enact_schedule(feedback,
+                                             rollback_on_failure=True)
+        assert not result.ok
+        assert result.created == []          # rollback emptied it
+        assert meta.enactor.stats.enact_failures == 1
+
+    def test_enact_reports_per_entry_codes(self, meta, app_class):
+        feedback = self.reserved(meta, app_class, n=2)
+        result = meta.enactor.enact_schedule(feedback)
+        assert set(result.entry_results) == {0, 1}
+        assert all(r.ok for r in result.entry_results.values())
+
+
+class TestCoAllocation:
+    def test_parallel_faster_than_sequential(self, multi, app_class=None):
+        from repro.objects import Implementation
+        app = multi.create_class(
+            "Wide", [Implementation(a, o) for a, o, *_ in
+                     __import__("repro.workload.testbed",
+                                fromlist=["PLATFORMS"]).PLATFORMS],
+            work_units=10.0)
+        vaults = {v.location.domain: v for v in multi.vaults}
+        entries = []
+        for host in multi.hosts[:6]:
+            entries.append(ScheduleMapping(app.loid, host.loid,
+                                           vaults[host.domain].loid))
+        # sequential enactor
+        seq = Enactor(multi.transport, multi.resolve,
+                      sequential_coallocation=True)
+        t0 = multi.now
+        fb = seq.make_reservations(
+            ScheduleRequestList([MasterSchedule(list(entries))]))
+        sequential_time = multi.now - t0
+        assert fb.ok
+        seq.cancel_reservations(fb)
+
+        par = Enactor(multi.transport, multi.resolve)
+        t0 = multi.now
+        fb2 = par.make_reservations(
+            ScheduleRequestList([MasterSchedule(list(entries))]))
+        parallel_time = multi.now - t0
+        assert fb2.ok
+        assert parallel_time < sequential_time
+
+    def test_domains_involved(self, multi):
+        from repro.objects import Implementation
+        app = multi.create_class("D", [Implementation("sparc", "SunOS")],
+                                 work_units=1.0)
+        vaults = {v.location.domain: v for v in multi.vaults}
+        entries = [ScheduleMapping(app.loid, h.loid,
+                                   vaults[h.domain].loid)
+                   for h in multi.hosts[:6]]
+        domains = multi.enactor.coallocator.domains_involved(entries)
+        assert len(domains) >= 2

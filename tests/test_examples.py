@@ -1,0 +1,57 @@
+"""Smoke tests: every shipped example runs to completion and prints its
+expected headline."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name.removesuffix('.py')}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "4/4 objects completed" in out
+        assert "/hosts/uva-ws0" in out
+
+    def test_custom_scheduler(self, capsys):
+        out = run_example("custom_scheduler.py", capsys)
+        assert "placed: True" in out
+        assert "mean price paid" in out
+
+    def test_migration_demo(self, capsys):
+        out = run_example("migration_demo.py", capsys)
+        assert "enabled" in out and "disabled" in out
+        assert "migrations" in out
+
+    def test_ocean_simulation(self, capsys):
+        out = run_example("ocean_simulation.py", capsys)
+        assert "stencil-aware" in out
+        assert "comm cost/iter" in out
+
+    def test_bandwidth_pipeline(self, capsys):
+        out = run_example("bandwidth_pipeline.py", capsys)
+        assert "bandwidth-aware" in out
+        assert "bandwidth tokens" in out
+
+    def test_cost_market(self, capsys):
+        out = run_example("cost_market.py", capsys)
+        assert "budget+premium" in out
+        assert "unbounded" in out
+
+    @pytest.mark.slow
+    def test_parameter_study(self, capsys):
+        out = run_example("parameter_study.py", capsys)
+        assert "central queue only" in out

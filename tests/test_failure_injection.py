@@ -1,0 +1,169 @@
+"""Failure-injection tests: "our Legion objects are built to accommodate
+failure at any step in the scheduling process" (paper section 3.1)."""
+
+import pytest
+
+from repro import Implementation, ObjectClassRequest
+from repro.errors import HostUnreachableError, MessageLostError
+from repro.schedule import MasterSchedule, ScheduleMapping, ScheduleRequestList
+from repro.workload import (
+    implementations_for_all_platforms,
+    multi_domain,
+    wait_for_completion,
+)
+
+
+class TestHostCrash:
+    def test_crash_mid_negotiation_fails_entry_not_system(self, multi):
+        app = multi.create_class("F", implementations_for_all_platforms(),
+                                 work_units=10.0)
+        vaults = {v.location.domain: v for v in multi.vaults}
+        dead = multi.hosts[0]
+        live = multi.hosts[1]
+        dead.machine.fail()
+        multi.topology.set_node_down(dead.location)
+        request = ScheduleRequestList([MasterSchedule([
+            ScheduleMapping(app.loid, dead.loid,
+                            vaults[dead.domain].loid),
+            ScheduleMapping(app.loid, live.loid,
+                            vaults[live.domain].loid),
+        ])])
+        feedback = multi.enactor.make_reservations(request)
+        assert not feedback.ok
+        # the live host's reservation was cleaned up
+        assert live.reservations.live_count(multi.now) == 0
+
+    def test_crash_after_placement_loses_only_local_objects(self, multi):
+        app = multi.create_class("F", implementations_for_all_platforms(),
+                                 work_units=5000.0)
+        sched = multi.make_scheduler("random")
+        outcome = sched.run([ObjectClassRequest(app, 6)])
+        assert outcome.ok
+        victim_host = multi.resolve(
+            app.get_instance(outcome.created[0]).host_loid)
+        on_victim = {l for l in outcome.created
+                     if app.get_instance(l).host_loid == victim_host.loid}
+        lost = victim_host.machine.fail()
+        assert len(lost) == len(on_victim & set(victim_host.placed))
+        # objects elsewhere keep completing
+        survivors = [l for l in outcome.created if l not in on_victim]
+        if survivors:
+            n, _ = wait_for_completion(multi, app, survivors, timeout=1e6)
+            assert n == len(survivors)
+
+    def test_recovered_host_accepts_new_work(self, multi):
+        host = multi.hosts[0]
+        vault = next(v for v in multi.vaults
+                     if v.location.domain == host.domain)
+        app = multi.create_class("R", implementations_for_all_platforms(),
+                                 work_units=10.0)
+        host.machine.fail()
+        with pytest.raises(Exception):
+            host.make_reservation(vault.loid, app.loid)
+        host.machine.recover()
+        tok = host.make_reservation(vault.loid, app.loid)
+        assert host.check_reservation(tok)
+
+
+class TestPartitions:
+    def test_partition_during_enactment_reported_per_entry(self, multi):
+        multi.place_enactor("dom0")
+        app = multi.create_class("P", implementations_for_all_platforms(),
+                                 work_units=10.0)
+        vaults = {v.location.domain: v for v in multi.vaults}
+        far = next(h for h in multi.hosts if h.domain == "dom1")
+        request = ScheduleRequestList([MasterSchedule([
+            ScheduleMapping(app.loid, far.loid, vaults["dom1"].loid)])])
+        feedback = multi.enactor.make_reservations(request)
+        assert feedback.ok
+        # partition strikes between reservation and enactment
+        multi.topology.partition("dom0", "dom1")
+        result = multi.enactor.enact_schedule(feedback)
+        assert not result.ok
+        assert "HostUnreachable" in result.entry_results[0].reason
+
+    def test_healed_partition_restores_service(self, multi):
+        multi.place_enactor("dom0")
+        far = next(h for h in multi.hosts if h.domain == "dom1")
+        multi.topology.partition("dom0", "dom1")
+        with pytest.raises(HostUnreachableError):
+            multi.transport.invoke(multi.enactor.location, far.location,
+                                   lambda: "hi")
+        multi.topology.heal("dom0", "dom1")
+        assert multi.transport.invoke(multi.enactor.location,
+                                      far.location, lambda: "hi") == "hi"
+
+
+class TestMessageLoss:
+    def test_lossy_network_degrades_not_crashes(self):
+        meta = multi_domain(n_domains=2, hosts_per_domain=4, seed=99,
+                            dynamics=False)
+        meta.transport.loss_probability = 0.3
+        meta.place_enactor("dom0")
+        app = meta.create_class("L", implementations_for_all_platforms(),
+                                work_units=10.0)
+        sched = meta.make_scheduler("irs", n_schedules=6)
+        sched.sched_try_limit = 5
+        successes = 0
+        for _ in range(5):
+            outcome = sched.run([ObjectClassRequest(app, 2)])
+            successes += outcome.ok
+        # the wrapper's retries absorb 30% loss most of the time
+        assert successes >= 2
+        assert meta.transport.messages_lost > 0
+
+    def test_loss_surfaces_as_entry_error_in_parallel_invoke(self):
+        meta = multi_domain(n_domains=1, hosts_per_domain=2, seed=98,
+                            dynamics=False)
+        meta.transport.loss_probability = 1.0
+        from repro.net import Call
+        host = meta.hosts[0]
+        outcomes = meta.transport.parallel_invoke(
+            [Call(None, host.location, lambda: 1)])
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, MessageLostError)
+
+
+class TestMigrationFailures:
+    def test_failed_migration_rolls_back_reservation(self, multi):
+        from repro.hosts.policy import LoadCeiling
+        app = multi.create_class("M", implementations_for_all_platforms(),
+                                 work_units=5000.0)
+        sched = multi.make_scheduler("random")
+        outcome = sched.run([ObjectClassRequest(app, 1)])
+        assert outcome.ok
+        loid = outcome.created[0]
+        src = multi.resolve(app.get_instance(loid).host_loid)
+        dst = next(h for h in multi.hosts if h.loid != src.loid
+                   and h.domain == src.domain)
+        # destination accepts the reservation but its machine dies before
+        # reactivation
+        grants_before = dst.reservations.grants
+        dst.machine.fail()
+        report = multi.migrator.migrate(loid, dst.loid)
+        assert not report.ok
+        # object still running at the source
+        assert loid in src.placed
+        assert dst.reservations.grants == grants_before  # nothing granted
+
+    def test_vault_capacity_failure_surfaces(self, multi):
+        app = multi.create_class("V", implementations_for_all_platforms(),
+                                 work_units=5000.0)
+        sched = multi.make_scheduler("random")
+        outcome = sched.run([ObjectClassRequest(app, 1)])
+        assert outcome.ok
+        loid = outcome.created[0]
+        src = multi.resolve(app.get_instance(loid).host_loid)
+        tiny = multi.add_vault(src.domain, name="tiny",
+                               capacity_bytes=1.0)
+        dst = next(h for h in multi.hosts
+                   if h.loid != src.loid and h.domain == src.domain)
+        report = multi.migrator.migrate(loid, dst.loid,
+                                        to_vault_loid=tiny.loid)
+        assert not report.ok
+        assert "OPR move failed" in report.detail
+        # rollback: the object is running again at the source
+        instance = app.get_instance(loid)
+        assert instance.is_active
+        assert instance.host_loid == src.loid
+        assert loid in src.placed

@@ -1,0 +1,163 @@
+"""Tests for the IndexedCollection: identical semantics, indexed speed."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection import Collection, IndexedCollection, parse
+from repro.collection.indexing import equality_constraints
+from repro.naming import LOID
+
+
+def loid(name):
+    return LOID(("d", "host", name))
+
+
+def fill(coll, n=20):
+    coll.require_auth = False
+    for i in range(n):
+        coll.join(loid(f"h{i}"), {
+            "host_arch": ["sparc", "mips", "x86"][i % 3],
+            "host_os_name": ["SunOS", "IRIX", "Linux"][i % 3],
+            "host_load": float(i % 5),
+            "host_up": i % 4 != 0,
+            "cpus": 1 + i % 2,
+            "tags": ["fast"] if i % 2 == 0 else ["slow", "cheap"],
+        })
+
+
+@pytest.fixture
+def pair():
+    plain = Collection(LOID(("d", "svc", "plain")), require_auth=False)
+    indexed = IndexedCollection(LOID(("d", "svc", "indexed")),
+                                require_auth=False)
+    fill(plain)
+    fill(indexed)
+    return plain, indexed
+
+
+QUERIES = [
+    '$host_arch == "sparc"',
+    '$host_arch == "sparc" and $host_up == true',
+    '$host_arch == "sparc" and $host_load < 3',
+    '$host_arch == "mips" and $host_os_name == "IRIX" and $cpus == 2',
+    '$host_load < 2',                       # no equality: scan fallback
+    '$host_arch == "sparc" or $host_arch == "mips"',   # OR: fallback
+    'not ($host_arch == "sparc")',                     # NOT: fallback
+    '$tags == "cheap" and $host_up == true',           # list values
+    '$host_arch == "vax"',                             # empty result
+    'match("IRIX", $host_os_name) and $host_arch == "mips"',
+    '$cpus == 2.0',                                    # numeric coercion
+    '$host_up == true',
+]
+
+
+class TestSemanticsMatchScan:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_same_results_as_plain(self, pair, query):
+        plain, indexed = pair
+        assert ([r.member for r in plain.query(query)]
+                == [r.member for r in indexed.query(query)])
+
+    def test_index_used_where_possible(self, pair):
+        _plain, indexed = pair
+        indexed.query('$host_arch == "sparc"')
+        assert indexed.index_hits == 1
+        indexed.query('$host_load < 2')
+        assert indexed.scan_fallbacks == 1
+
+    def test_update_reindexes(self, pair):
+        _plain, indexed = pair
+        member = loid("h0")
+        indexed.update_entry(member, {"host_arch": "alpha"})
+        assert member in {r.member for r in
+                          indexed.query('$host_arch == "alpha"')}
+        assert member not in {r.member for r in
+                              indexed.query('$host_arch == "sparc"')}
+
+    def test_leave_unindexes(self, pair):
+        _plain, indexed = pair
+        member = loid("h0")
+        indexed.leave(member)
+        assert member not in {r.member for r in
+                              indexed.query('$host_arch == "sparc"')}
+
+    def test_pull_from_reindexes(self, meta):
+        indexed = IndexedCollection(LOID(("d", "svc", "i2")),
+                                    clock=lambda: meta.now)
+        host = meta.hosts[0]
+        indexed.pull_from(host)
+        assert host.loid in {r.member for r in
+                             indexed.query('$host_arch == "sparc"')}
+        host.machine.set_background_load(9.0)
+        host.reassess()
+        indexed.pull_from(host)
+        result = indexed.query('$host_arch == "sparc" and $host_load > 5')
+        assert host.loid in {r.member for r in result}
+
+    def test_computed_attribute_not_misindexed(self, pair):
+        _plain, indexed = pair
+        indexed.inject_attribute("grade", lambda rec: "good")
+        result = indexed.query('$grade == "good" and '
+                               '$host_arch == "sparc"')
+        # computed attr is skipped by the planner but honoured by the
+        # evaluator: all sparc records match
+        assert len(result) == 7
+
+    def test_contradictory_constraints_short_circuit(self, pair):
+        _plain, indexed = pair
+        assert indexed.query('$host_arch == "sparc" and '
+                             '$host_arch == "mips"') == []
+
+
+class TestPlanner:
+    def test_collects_top_level_conjunction(self):
+        ast = parse('$a == 1 and ($b == "x" and $c == true)')
+        constraints = dict(equality_constraints(ast))
+        assert constraints == {"a": 1, "b": "x", "c": True}
+
+    def test_reversed_operands(self):
+        ast = parse('"x" == $b')
+        assert equality_constraints(ast) == [("b", "x")]
+
+    def test_ignores_or_and_not_branches(self):
+        assert equality_constraints(parse('$a == 1 or $b == 2')) == []
+        assert equality_constraints(parse('not ($a == 1)')) == []
+        ast = parse('$a == 1 and ($b == 2 or $c == 3)')
+        assert equality_constraints(ast) == [("a", 1)]
+
+    def test_ignores_inequalities(self):
+        assert equality_constraints(parse('$a != 1 and $b < 2')) == []
+
+
+attr_st = st.sampled_from(["host_arch", "host_load", "host_up", "cpus"])
+value_st = st.one_of(
+    st.sampled_from(["sparc", "mips", "x86", "vax"]),
+    st.integers(min_value=0, max_value=5),
+    st.booleans())
+
+
+class TestPropertyEquivalence:
+    @given(st.lists(st.tuples(attr_st, value_st), min_size=1, max_size=3),
+           st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_conjunctive_queries_agree_with_scan(self, constraints,
+                                                 add_range):
+        plain = Collection(LOID(("d", "svc", "p")), require_auth=False)
+        indexed = IndexedCollection(LOID(("d", "svc", "i")),
+                                    require_auth=False)
+        fill(plain, n=30)
+        fill(indexed, n=30)
+        terms = []
+        for attr, value in constraints:
+            if isinstance(value, str):
+                terms.append(f'${attr} == "{value}"')
+            elif isinstance(value, bool):
+                terms.append(f'${attr} == {"true" if value else "false"}')
+            else:
+                terms.append(f'${attr} == {value}')
+        if add_range:
+            terms.append('$host_load < 4')
+        query = " and ".join(terms)
+        assert ([r.member for r in plain.query(query)]
+                == [r.member for r in indexed.query(query)])

@@ -1,0 +1,139 @@
+"""Integration test: the full 13-step object-placement protocol (Fig. 3).
+
+Steps (paper section 3):
+ 1. the Collection is populated with resource descriptions;
+ 2-3. the Scheduler acquires application knowledge from the classes;
+ 4-6. the Enactor obtains reservations from Hosts/Vaults in the mapping;
+ 7-9. after Scheduler confirmation, the Enactor instantiates objects via
+      the class objects;
+ 10-11. success/failure codes flow back to the Scheduler;
+ 12-13. during execution a resource outcalls the Monitor and rescheduling
+      is performed.
+"""
+
+import pytest
+
+from repro import Implementation, ObjectClassRequest
+from repro.hosts import UnixHost
+from repro.workload import multi_domain, wait_for_completion
+
+
+class TestThirteenStepFlow:
+    def test_full_protocol_end_to_end(self):
+        meta = multi_domain(n_domains=2, hosts_per_domain=4, seed=13,
+                            dynamics=False)
+        from repro.workload import implementations_for_all_platforms
+        app = meta.create_class("Proto",
+                                implementations_for_all_platforms(),
+                                work_units=2000.0)
+
+        # step 1: hosts populated the Collection at bootstrap
+        assert len(meta.collection) == len(meta.hosts)
+
+        # steps 2-3: the Scheduler queries class + Collection
+        scheduler = meta.make_scheduler("irs", n_schedules=3)
+        request = [ObjectClassRequest(app, count=4)]
+        request_list = scheduler.compute_schedule(request)
+        assert request_list.total_mappings() >= 4
+
+        # steps 4-6: reservations
+        feedback = meta.enactor.make_reservations(request_list)
+        assert feedback.ok
+        assert len(feedback.reserved_entries) == 4
+
+        # steps 7-11: confirmation + instantiation + result codes
+        result = meta.enactor.enact_schedule(feedback)
+        assert result.ok
+        assert len(result.created) == 4
+        assert all(r.ok for r in result.entry_results.values())
+
+        # steps 12-13: overload a host; the Monitor reschedules
+        monitor = meta.make_monitor(min_load_advantage=0.5)
+        monitor.watch_all(meta.hosts)
+        victim_host = meta.resolve(
+            app.get_instance(result.created[0]).host_loid)
+        victim_host.machine.set_background_load(50.0)
+        victim_host.reassess()
+        assert monitor.stats.outcalls_received >= 1
+        assert monitor.stats.migrations_succeeded >= 1
+
+        # the world keeps running: all four objects eventually complete
+        n, _t = wait_for_completion(meta, app, result.created,
+                                    timeout=1e6)
+        assert n == 4
+
+    def test_latency_is_charged_throughout(self):
+        meta = multi_domain(n_domains=2, hosts_per_domain=3, seed=14,
+                            dynamics=False)
+        meta.place_collection("dom0")
+        from repro.workload import implementations_for_all_platforms
+        app = meta.create_class("Cost",
+                                implementations_for_all_platforms(),
+                                work_units=1.0)
+        sched = meta.make_scheduler("random")
+        t0, m0 = meta.now, meta.transport.messages_sent
+        outcome = sched.run([ObjectClassRequest(app, 3)])
+        assert outcome.ok
+        assert meta.now > t0
+        assert meta.transport.messages_sent > m0
+        # scheduling latency is sub-minute for a small system
+        assert outcome.elapsed < 60.0
+
+    def test_reservations_respected_under_contention(self):
+        """Two schedulers racing for scarce slots: reservations guarantee
+        that enactment never oversubscribes a host."""
+        meta = multi_domain(n_domains=1, hosts_per_domain=2, seed=15,
+                            dynamics=False)
+        from repro.workload import implementations_for_all_platforms
+        app = meta.create_class("Race",
+                                implementations_for_all_platforms(),
+                                work_units=500.0)
+        total_slots = sum(h.slots for h in meta.hosts)
+        s1 = meta.make_scheduler("irs", n_schedules=4)
+        s2 = meta.make_scheduler("irs", n_schedules=4,
+                                 rng=meta.rngs.stream("s2"))
+        placed = 0
+        for sched in (s1, s2, s1, s2):
+            outcome = sched.run([ObjectClassRequest(app, 2)])
+            if outcome.ok:
+                placed += len(outcome.created)
+        for host in meta.hosts:
+            assert len(host.placed) <= host.slots
+        assert placed <= total_slots
+
+    def test_partition_failover_to_variant(self):
+        """A domain partition makes its hosts unreachable mid-negotiation;
+        variants in the other domain rescue the schedule."""
+        meta = multi_domain(n_domains=2, hosts_per_domain=3, seed=16,
+                            dynamics=False)
+        meta.place_enactor("dom0")
+        from repro.workload import implementations_for_all_platforms
+        app = meta.create_class("Part",
+                                implementations_for_all_platforms(),
+                                work_units=10.0)
+        # partition dom1 away from the enactor's domain
+        meta.topology.partition("dom0", "dom1")
+        sched = meta.make_scheduler("irs", n_schedules=8)
+        outcome = sched.run([ObjectClassRequest(app, 2)])
+        if outcome.ok:
+            for m in outcome.feedback.reserved_entries:
+                host = meta.resolve(m.host_loid)
+                assert host.domain == "dom0"
+
+    def test_object_completion_updates_slots_in_collection(self):
+        meta = multi_domain(n_domains=1, hosts_per_domain=1, seed=17,
+                            dynamics=False)
+        from repro.workload import implementations_for_all_platforms
+        app = meta.create_class("Slots",
+                                implementations_for_all_platforms(),
+                                work_units=50.0)
+        sched = meta.make_scheduler("random")
+        outcome = sched.run([ObjectClassRequest(app, 1)])
+        assert outcome.ok
+        host = meta.hosts[0]
+        free_during = host.free_slots
+        wait_for_completion(meta, app, outcome.created)
+        meta.advance(meta.reassess_interval * 2)
+        record = meta.collection.record_of(host.loid)
+        assert record.attributes["host_slots_free"] == host.slots
+        assert host.free_slots == free_during + 1

@@ -1,0 +1,108 @@
+"""Tests for the four Fig. 2 layering strategies."""
+
+import pytest
+
+from repro import Implementation, ObjectClassRequest
+from repro.scheduler import (
+    AppDoesItAll,
+    AppWithRMServices,
+    CombinedSchedulerRM,
+    SeparateLayers,
+)
+
+
+@pytest.fixture
+def layered(meta, app_class):
+    """Service locations so inter-layer hops cost real latency."""
+    meta.place_collection("uva")
+    meta.place_enactor("uva")
+    sched_loc = meta.topology.add_node("uva", "scheduler-svc")
+    return meta, app_class, sched_loc
+
+
+def requests(app_class, n=2):
+    return [ObjectClassRequest(app_class, count=n)]
+
+
+class TestStrategiesPlace:
+    def test_app_does_it_all(self, layered):
+        meta, app_class, _ = layered
+        strategy = AppDoesItAll(meta.transport, meta.hosts,
+                                rng=meta.rngs.stream("test", "a"))
+        outcome = strategy.place(requests(app_class))
+        assert outcome.ok
+        assert len(outcome.created) == 2
+        assert outcome.messages > 0
+
+    def test_app_with_rm_services(self, layered):
+        meta, app_class, _ = layered
+        strategy = AppWithRMServices(meta.transport, meta.collection,
+                                     meta.enactor,
+                                     rng=meta.rngs.stream("test", "b"))
+        outcome = strategy.place(requests(app_class))
+        assert outcome.ok and len(outcome.created) == 2
+
+    def test_combined_module(self, layered):
+        meta, app_class, _ = layered
+        sched = meta.make_scheduler("random")
+        strategy = CombinedSchedulerRM(meta.transport, sched)
+        outcome = strategy.place(requests(app_class))
+        assert outcome.ok and len(outcome.created) == 2
+
+    def test_separate_layers(self, layered):
+        meta, app_class, sched_loc = layered
+        sched = meta.make_scheduler("random")
+        strategy = SeparateLayers(meta.transport, sched,
+                                  scheduler_location=sched_loc,
+                                  enactor_location=meta.enactor.location)
+        outcome = strategy.place(requests(app_class))
+        assert outcome.ok and len(outcome.created) == 2
+
+
+class TestCostStructure:
+    def test_direct_probing_costs_scale_with_hosts(self, layered):
+        meta, app_class, _ = layered
+        strategy = AppDoesItAll(meta.transport, meta.hosts,
+                                rng=meta.rngs.stream("test", "c"))
+        outcome = strategy.place(requests(app_class, n=1))
+        # probe every host (RPC each) + reservation + create
+        assert outcome.messages >= 2 * len(meta.hosts)
+
+    def test_collection_replaces_probing(self, layered):
+        meta, app_class, _ = layered
+        direct = AppDoesItAll(meta.transport, meta.hosts,
+                              rng=meta.rngs.stream("test", "d"))
+        rm = AppWithRMServices(meta.transport, meta.collection,
+                               meta.enactor,
+                               rng=meta.rngs.stream("test", "e"))
+        out_direct = direct.place(requests(app_class, n=1))
+        out_rm = rm.place(requests(app_class, n=1))
+        assert out_rm.messages < out_direct.messages
+
+    def test_all_layerings_produce_running_instances(self, layered):
+        meta, app_class, sched_loc = layered
+        strategies = [
+            AppDoesItAll(meta.transport, meta.hosts,
+                         rng=meta.rngs.stream("t", "1")),
+            AppWithRMServices(meta.transport, meta.collection, meta.enactor,
+                              rng=meta.rngs.stream("t", "2")),
+            CombinedSchedulerRM(meta.transport,
+                                meta.make_scheduler("random")),
+            SeparateLayers(meta.transport, meta.make_scheduler("irs"),
+                           scheduler_location=sched_loc,
+                           enactor_location=meta.enactor.location),
+        ]
+        total = 0
+        for strategy in strategies:
+            outcome = strategy.place(requests(app_class, n=1))
+            assert outcome.ok, strategy.name
+            total += len(outcome.created)
+        assert total == 4
+        assert len(app_class.instances) == 4
+
+    def test_failure_reported_not_raised(self, meta):
+        alien = meta.create_class("Alien", [Implementation("vax", "VMS")])
+        strategy = AppDoesItAll(meta.transport, meta.hosts)
+        outcome = strategy.place([ObjectClassRequest(alien, 1)])
+        assert not outcome.ok
+        assert outcome.detail

@@ -1,0 +1,204 @@
+"""Tests for the processor-sharing simulated machine."""
+
+import pytest
+
+from repro.errors import InsufficientResourcesError, ObjectStateError
+from repro.hosts import LoadWalk, MachineSpec, SimJob, SimMachine
+from repro.net import AdministrativeDomain, NetLocation, Topology
+from repro.sim import RngRegistry, Simulator
+
+
+def make_machine(speed=1.0, cpus=1, memory=128.0, load_walk=None,
+                 initial_load=0.0):
+    sim = Simulator()
+    topo = Topology()
+    topo.add_domain(AdministrativeDomain("d"))
+    loc = topo.add_node("d", "m")
+    machine = SimMachine("m", MachineSpec(cpus=cpus, speed=speed,
+                                          memory_mb=memory),
+                         loc, sim, RngRegistry(1), load_walk=load_walk,
+                         initial_load=initial_load)
+    return sim, machine
+
+
+class TestExecution:
+    def test_single_job_runs_at_full_speed(self):
+        sim, m = make_machine(speed=2.0)
+        done = []
+        job = SimJob(100.0, 8.0, on_complete=lambda j: done.append(sim.now))
+        m.start_job(job)
+        sim.run()
+        assert done == [pytest.approx(50.0)]
+        assert job.done
+        assert m.completed_jobs == 1
+
+    def test_two_jobs_share_the_processor(self):
+        sim, m = make_machine(speed=1.0)
+        times = {}
+        for name, work in (("a", 100.0), ("b", 100.0)):
+            m.start_job(SimJob(work, 8.0,
+                               on_complete=lambda j: times.__setitem__(
+                                   j.name, sim.now), name=name))
+        sim.run()
+        # both jobs share 1 cpu: each runs at rate 0.5 -> finish at 200
+        assert times["a"] == pytest.approx(200.0)
+        assert times["b"] == pytest.approx(200.0)
+
+    def test_short_job_departure_speeds_up_survivor(self):
+        sim, m = make_machine(speed=1.0)
+        times = {}
+        m.start_job(SimJob(50.0, 8.0, on_complete=lambda j:
+                           times.__setitem__(j.name, sim.now), name="short"))
+        m.start_job(SimJob(100.0, 8.0, on_complete=lambda j:
+                           times.__setitem__(j.name, sim.now), name="long"))
+        sim.run()
+        # shared until short finishes at t=100 (50/0.5); long then has 50
+        # units left at rate 1.0 -> 150
+        assert times["short"] == pytest.approx(100.0)
+        assert times["long"] == pytest.approx(150.0)
+
+    def test_multi_cpu_runs_jobs_independently(self):
+        sim, m = make_machine(speed=1.0, cpus=2)
+        times = {}
+        for name in ("a", "b"):
+            m.start_job(SimJob(100.0, 8.0, on_complete=lambda j:
+                               times.__setitem__(j.name, sim.now),
+                               name=name))
+        sim.run()
+        assert times["a"] == pytest.approx(100.0)
+        assert times["b"] == pytest.approx(100.0)
+
+    def test_background_load_slows_jobs(self):
+        sim, m = make_machine(speed=1.0, initial_load=1.0)
+        finish = []
+        m.start_job(SimJob(100.0, 8.0,
+                           on_complete=lambda j: finish.append(sim.now)))
+        sim.run()
+        # 1 job + 1.0 bg load share 1 cpu -> rate 0.5 -> 200s
+        assert finish == [pytest.approx(200.0)]
+
+    def test_mid_run_load_injection_slows_job(self):
+        sim, m = make_machine(speed=1.0)
+        finish = []
+        m.start_job(SimJob(100.0, 8.0,
+                           on_complete=lambda j: finish.append(sim.now)))
+        sim.schedule(50.0, lambda: m.set_background_load(3.0))
+        sim.run()
+        # 50 units done by t=50; then rate = 1/(1+3) = 0.25 -> +200s
+        assert finish == [pytest.approx(250.0)]
+
+    def test_add_work_extends_job(self):
+        sim, m = make_machine(speed=1.0)
+        finish = []
+        job = SimJob(100.0, 8.0,
+                     on_complete=lambda j: finish.append(sim.now))
+        m.start_job(job)
+        sim.schedule(10.0, lambda: m.add_work(job, 40.0))
+        sim.run()
+        assert finish == [pytest.approx(140.0)]
+
+    def test_add_work_rejects_negative(self):
+        sim, m = make_machine()
+        job = SimJob(10.0, 8.0)
+        m.start_job(job)
+        with pytest.raises(ValueError):
+            m.add_work(job, -1.0)
+
+    def test_zero_work_job_completes_immediately(self):
+        sim, m = make_machine()
+        done = []
+        m.start_job(SimJob(0.0, 1.0, on_complete=lambda j: done.append(1)))
+        sim.run()
+        assert done == [1]
+
+
+class TestAdmission:
+    def test_memory_accounting(self):
+        sim, m = make_machine(memory=100.0)
+        m.start_job(SimJob(10.0, 60.0))
+        assert m.available_memory_mb == pytest.approx(40.0)
+        with pytest.raises(InsufficientResourcesError):
+            m.start_job(SimJob(10.0, 50.0))
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            SimJob(-1.0, 8.0)
+
+    def test_load_average_counts_jobs_and_background(self):
+        sim, m = make_machine(initial_load=0.7)
+        m.start_job(SimJob(100.0, 8.0))
+        m.start_job(SimJob(100.0, 8.0))
+        assert m.load_average == pytest.approx(2.7)
+
+    def test_remove_job_returns_remaining(self):
+        sim, m = make_machine(speed=1.0)
+        job = SimJob(100.0, 8.0)
+        m.start_job(job)
+        sim.run_until(30.0)
+        remaining = m.remove_job(job)
+        assert remaining == pytest.approx(70.0)
+        assert job.preempted
+        assert not m.jobs
+
+
+class TestFailure:
+    def test_fail_loses_jobs(self):
+        sim, m = make_machine()
+        job = SimJob(100.0, 8.0)
+        m.start_job(job)
+        lost = m.fail()
+        assert lost == [job]
+        assert not m.up
+        assert m.per_job_rate() == 0.0
+        with pytest.raises(ObjectStateError):
+            m.start_job(SimJob(1.0, 1.0))
+
+    def test_recover_allows_new_work(self):
+        sim, m = make_machine()
+        m.fail()
+        m.recover()
+        assert m.up
+        done = []
+        m.start_job(SimJob(10.0, 8.0, on_complete=lambda j: done.append(1)))
+        sim.run()
+        assert done == [1]
+
+
+class TestLoadWalk:
+    def test_walk_changes_load_over_time(self):
+        walk = LoadWalk(mean=1.0, sigma=0.3, interval=10.0)
+        sim, m = make_machine(load_walk=walk, initial_load=0.0)
+        sim.run_until(500.0)
+        assert m.background_load != 0.0
+        assert 0.0 <= m.background_load <= walk.cap
+
+    def test_walk_is_deterministic_per_seed(self):
+        def trace():
+            walk = LoadWalk(mean=1.0, interval=10.0)
+            sim, m = make_machine(load_walk=walk)
+            loads = []
+            for _ in range(20):
+                sim.run_until(sim.now + 10.0)
+                loads.append(m.background_load)
+            return loads
+        assert trace() == trace()
+
+    def test_spikes_occur(self):
+        walk = LoadWalk(mean=0.2, sigma=0.01, interval=1.0,
+                        spike_prob=0.5, spike_size=5.0)
+        sim, m = make_machine(load_walk=walk)
+        peak = 0.0
+        for _ in range(100):
+            sim.run_until(sim.now + 1.0)
+            peak = max(peak, m.background_load)
+        assert peak > 3.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            LoadWalk(interval=0.0)
+
+    def test_clipping_at_zero(self):
+        walk = LoadWalk(mean=0.0, kappa=1.0, sigma=0.0, interval=1.0)
+        import numpy as np
+        rng = np.random.default_rng(0)
+        assert walk.step(rng, -5.0) == 0.0

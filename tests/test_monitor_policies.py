@@ -1,0 +1,92 @@
+"""Tests for pluggable Monitor rescheduling policies."""
+
+import pytest
+
+from repro import Implementation, ObjectClassRequest
+from repro.accounting import CostAwareScheduler
+from repro.monitor import GreedyLeastLoaded, SchedulerBacked
+from repro.objects import Placement
+
+
+@pytest.fixture
+def loaded(meta):
+    """A long job on host 0, host 0 overloaded, others quiet."""
+    app = meta.create_class("Heavy", [Implementation("sparc", "SunOS")],
+                            work_units=5000.0)
+    host, vault = meta.hosts[0], meta.vaults[0]
+    result = app.create_instance(Placement(host.loid, vault.loid))
+    host.machine.set_background_load(20.0)
+    for h in meta.hosts:
+        h.reassess()
+    return app, result.loid, host
+
+
+class TestGreedyPolicy:
+    def test_destination_excludes_source(self, meta, loaded):
+        app, loid, src = loaded
+        policy = GreedyLeastLoaded(meta.collection, meta.resolve,
+                                   min_load_advantage=0.5)
+        dest = policy.pick_destination(app.loid, src)
+        assert dest is not None
+        assert dest != src.loid
+
+    def test_respects_advantage_threshold(self, meta, loaded):
+        app, loid, src = loaded
+        policy = GreedyLeastLoaded(meta.collection, meta.resolve,
+                                   min_load_advantage=1e6)
+        assert policy.pick_destination(app.loid, src) is None
+
+    def test_victims_limited(self, meta, loaded):
+        app, loid, src = loaded
+        vault = meta.vaults[0]
+        for _ in range(3):
+            app.create_instance(Placement(src.loid, vault.loid))
+        policy = GreedyLeastLoaded(meta.collection, meta.resolve)
+        assert len(policy.pick_victims(src, limit=2)) == 2
+        assert len(policy.pick_victims(src, limit=10)) == 4
+
+
+class TestSchedulerBackedPolicy:
+    def test_uses_scheduler_placement(self, meta, loaded):
+        app, loid, src = loaded
+        sched = meta.make_scheduler("load")
+        policy = SchedulerBacked(sched, meta.resolve)
+        dest = policy.pick_destination(app.loid, src)
+        assert dest is not None and dest != src.loid
+        # the load-aware scheduler picks a quiet host
+        dest_host = meta.resolve(dest)
+        assert dest_host.machine.load_average < src.machine.load_average
+
+    def test_cost_aware_monitor(self, meta, loaded):
+        """The Monitor inherits whatever the backing Scheduler optimizes —
+        here, price."""
+        app, loid, src = loaded
+        # make host 3 expensive, others free
+        meta.hosts[3].price = 9.99
+        for h in meta.hosts:
+            h.reassess()
+        sched = CostAwareScheduler(meta.collection, meta.enactor,
+                                   meta.transport, deadline=1e9)
+        policy = SchedulerBacked(sched, meta.resolve)
+        monitor = meta.make_monitor(policy=policy,
+                                    min_load_advantage=0.1)
+        monitor.watch_all(meta.hosts)
+        reports = monitor.rebalance_host(src)
+        assert len(reports) == 1 and reports[0].ok
+        assert reports[0].to_host != meta.hosts[3].loid  # avoided pricey
+
+    def test_end_to_end_via_trigger(self, meta, loaded):
+        app, loid, src = loaded
+        sched = meta.make_scheduler("load")
+        monitor = meta.make_monitor(
+            policy=SchedulerBacked(sched, meta.resolve))
+        monitor.watch_all(meta.hosts)
+        # load is already high; re-fire the trigger cleanly
+        src.machine.set_background_load(0.0)
+        meta.advance(120.0)
+        src.reassess()
+        src.machine.set_background_load(25.0)
+        meta.advance(120.0)
+        src.reassess()
+        assert monitor.stats.migrations_succeeded >= 1
+        assert app.get_instance(loid).host_loid != src.loid

@@ -1,0 +1,141 @@
+"""Tests for the NWS-style forecasters and Collection injection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.predict import (
+    AdaptiveForecaster,
+    ExponentialSmoothing,
+    HostLoadPredictor,
+    LastValue,
+    RunningMean,
+    SlidingWindowMean,
+    SlidingWindowMedian,
+)
+
+
+class TestBasicForecasters:
+    def test_last_value(self):
+        f = LastValue()
+        assert math.isnan(f.predict())
+        f.update(3.0)
+        f.update(5.0)
+        assert f.predict() == 5.0
+
+    def test_running_mean(self):
+        f = RunningMean()
+        for x in (1.0, 2.0, 3.0):
+            f.update(x)
+        assert f.predict() == pytest.approx(2.0)
+
+    def test_sliding_window_mean(self):
+        f = SlidingWindowMean(window=2)
+        for x in (10.0, 1.0, 3.0):
+            f.update(x)
+        assert f.predict() == pytest.approx(2.0)  # only last two
+
+    def test_sliding_window_median_robust_to_spike(self):
+        f = SlidingWindowMedian(window=5)
+        for x in (1.0, 1.0, 100.0, 1.0, 1.0):
+            f.update(x)
+        assert f.predict() == 1.0
+
+    def test_ewma(self):
+        f = ExponentialSmoothing(alpha=0.5)
+        f.update(0.0)
+        f.update(10.0)
+        assert f.predict() == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMean(0)
+        with pytest.raises(ValueError):
+            SlidingWindowMedian(-1)
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(0.0)
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(1.5)
+
+
+class TestAdaptive:
+    def test_tracks_best_on_constant_series(self):
+        f = AdaptiveForecaster()
+        for _ in range(50):
+            f.update(2.0)
+        assert f.predict() == pytest.approx(2.0)
+
+    def test_selects_low_error_forecaster(self):
+        # alternating series: mean-based forecasters beat last-value
+        f = AdaptiveForecaster()
+        for i in range(100):
+            f.update(0.0 if i % 2 == 0 else 2.0)
+        last_idx = [fc.name for fc in f.bank].index("last")
+        assert f.best_index() != last_idx
+
+    def test_errors_accumulate(self):
+        f = AdaptiveForecaster()
+        f.update(1.0)
+        f.update(2.0)
+        assert any(e > 0 for e in f.errors)
+
+    def test_best_name(self):
+        f = AdaptiveForecaster()
+        for _ in range(10):
+            f.update(1.0)
+        assert isinstance(f.best_name, str)
+
+    def test_beats_worst_on_noisy_ar1(self):
+        rng = np.random.default_rng(0)
+        series = [0.0]
+        for _ in range(300):
+            series.append(0.9 * series[-1] + rng.normal(0, 0.3))
+        adaptive = AdaptiveForecaster()
+        errors = {fc.name: 0.0 for fc in adaptive.bank}
+        shadow = AdaptiveForecaster()  # untouched copy for per-fc errors
+        adapt_err = 0.0
+        for x in series:
+            pred = adaptive.predict()
+            if pred == pred:
+                adapt_err += abs(pred - x)
+            adaptive.update(x)
+        worst = max(adaptive.errors)
+        assert adapt_err <= worst * 1.05
+
+
+class TestHostLoadPredictor:
+    def test_observe_and_predict(self):
+        p = HostLoadPredictor()
+        for x in (1.0, 1.0, 1.0):
+            p.observe("ws0", x)
+        assert p.predict("ws0") == pytest.approx(1.0)
+        assert math.isnan(p.predict("unknown"))
+
+    def test_per_host_isolation(self):
+        p = HostLoadPredictor()
+        p.observe("a", 1.0)
+        p.observe("b", 9.0)
+        assert p.predict("a") != p.predict("b")
+
+    def test_computed_adapter_falls_back_to_host_load(self):
+        p = HostLoadPredictor()
+        record = {"host_name": "fresh", "host_load": 3.5}
+        assert p.computed(record) == 3.5
+        p.observe("fresh", 1.0)
+        assert p.computed(record) == pytest.approx(1.0)
+
+    def test_injection_into_collection(self, meta):
+        p = HostLoadPredictor()
+        meta.collection.inject_attribute("predicted_load", p.computed)
+        host = meta.hosts[0]
+        for load in (0.5, 0.5, 0.5):
+            p.observe(host.machine.name, load)
+        records = meta.collection.query("$predicted_load < 1.0")
+        assert host.loid in {r.member for r in records}
+
+    def test_custom_factory(self):
+        p = HostLoadPredictor(factory=LastValue)
+        p.observe("x", 1.0)
+        p.observe("x", 7.0)
+        assert p.predict("x") == 7.0

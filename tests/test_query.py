@@ -1,0 +1,288 @@
+"""Tests for the Collection query grammar: lexer, parser, evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection.query import (
+    And,
+    Attr,
+    Call,
+    Compare,
+    Literal,
+    Not,
+    Or,
+    QueryFunctions,
+    UNDEFINED,
+    evaluate,
+    matches,
+    parse,
+    tokenize,
+)
+from repro.errors import QueryEvaluationError, QuerySyntaxError
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize('$a == "x" and f(1.5)')]
+        assert kinds == ["ATTR", "OP", "STRING", "AND", "IDENT", "LPAREN",
+                         "NUMBER", "RPAREN", "EOF"]
+
+    def test_attr_value(self):
+        tok = tokenize("$host_os_name")[0]
+        assert tok.kind == "ATTR" and tok.value == "host_os_name"
+
+    def test_string_escapes(self):
+        tok = tokenize(r'"say \"hi\""')[0]
+        assert tok.value == 'say "hi"'
+
+    def test_regex_escapes_pass_through(self):
+        tok = tokenize(r'"5\..*"')[0]
+        assert tok.value == "5\\..*"
+
+    def test_single_quotes(self):
+        assert tokenize("'abc'")[0].value == "abc"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 -3 1e3 2.5e-2")[:-1]]
+        assert values == [1, 2.5, -3, 1000.0, 0.025]
+        assert isinstance(tokenize("7")[0].value, int)
+
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("AND Or noT True FALSE")[:-1]]
+        assert kinds == ["AND", "OR", "NOT", "BOOL", "BOOL"]
+
+    def test_single_equals_is_equality(self):
+        assert tokenize("$a = 1")[1].value == "=="
+
+    @pytest.mark.parametrize("bad", ["$", "$1abc", '"unterminated',
+                                     "back\\slash", "@weird"])
+    def test_bad_input_raises(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            tokenize(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize(12345)
+
+
+class TestParser:
+    def test_precedence_and_binds_tighter_than_or(self):
+        node = parse("$a or $b and $c")
+        assert isinstance(node, Or)
+        assert isinstance(node.right, And)
+
+    def test_parentheses_override(self):
+        node = parse("($a or $b) and $c")
+        assert isinstance(node, And)
+        assert isinstance(node.left, Or)
+
+    def test_not_chains(self):
+        node = parse("not not $a")
+        assert isinstance(node, Not) and isinstance(node.operand, Not)
+
+    def test_comparison(self):
+        node = parse("$load <= 2.5")
+        assert isinstance(node, Compare)
+        assert node.op == "<="
+        assert node.left == Attr("load")
+        assert node.right == Literal(2.5)
+
+    def test_call_with_args(self):
+        node = parse('match("IRIX", $os)')
+        assert node == Call("match", (Literal("IRIX"), Attr("os")))
+
+    def test_call_no_args(self):
+        assert parse("f()") == Call("f", ())
+
+    def test_paper_example_parses(self):
+        node = parse('match($host_os_name, "IRIX") and '
+                     'match("5\\..*", $host_os_name)')
+        assert isinstance(node, And)
+
+    @pytest.mark.parametrize("bad", [
+        "", "$a and", "and $a", "($a", "$a)", "f(,)", "$a == == 1",
+        "$a $b", "1 2", "match($a, )",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse(bad)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("$a == 1 garbage(")
+
+
+class TestEvaluator:
+    REC = {
+        "host_os_name": "IRIX 5.3",
+        "host_arch": "mips",
+        "host_load": 1.5,
+        "host_up": True,
+        "cpus": 4,
+        "tags": ["fast", "cheap"],
+    }
+
+    def q(self, text, record=None):
+        return matches(parse(text), record if record is not None
+                       else self.REC)
+
+    def test_equality(self):
+        assert self.q('$host_arch == "mips"')
+        assert not self.q('$host_arch == "sparc"')
+        assert self.q('$host_arch != "sparc"')
+
+    def test_numeric_comparisons(self):
+        assert self.q("$host_load < 2")
+        assert self.q("$host_load >= 1.5")
+        assert not self.q("$host_load > 1.5")
+        assert self.q("$cpus == 4")
+
+    def test_int_float_coercion(self):
+        assert self.q("$cpus == 4.0")
+        assert self.q("$host_load > 1")
+
+    def test_string_ordering(self):
+        assert self.q('$host_arch > "aaa"')
+
+    def test_cross_type_comparison_is_false(self):
+        assert not self.q('$cpus == "4"')
+        assert not self.q('$host_arch < 10')
+
+    def test_boolean_attr(self):
+        assert self.q("$host_up")
+        assert self.q("$host_up == true")
+        assert not self.q("not $host_up")
+
+    def test_missing_attr_never_matches(self):
+        assert not self.q("$nope == 1")
+        assert not self.q('$nope != 1')   # undefined: all comparisons false
+        assert not self.q("$nope < 99999")
+        assert self.q("not defined($nope)")
+
+    def test_defined(self):
+        assert self.q("defined($host_load)")
+        assert not self.q("defined($ghost)")
+
+    def test_match_footnote_order(self):
+        # footnote 5: first arg is the regex
+        assert self.q('match("IRIX", $host_os_name)')
+        assert self.q('match("5\\..*", $host_os_name)')
+        assert not self.q('match("6\\..*", $host_os_name)')
+
+    def test_match_legacy_order_lenient(self):
+        # the paper's older example form: attribute first
+        assert self.q('match($host_os_name, "IRIX")')
+
+    def test_match_on_list_attr(self):
+        assert self.q('match("fast", $tags)')
+        assert not self.q('match("slow", $tags)')
+
+    def test_match_bad_regex(self):
+        with pytest.raises(QueryEvaluationError):
+            self.q('match("(unclosed", $host_os_name)')
+
+    def test_match_arity(self):
+        with pytest.raises(QueryEvaluationError):
+            self.q('match($host_os_name)')
+
+    def test_contains(self):
+        assert self.q('contains($tags, "cheap")')
+        assert not self.q('contains($tags, "slow")')
+        assert self.q('contains($host_os_name, "5.3")')
+
+    def test_oneof(self):
+        assert self.q('oneof($host_arch, "sparc", "mips")')
+        assert not self.q('oneof($host_arch, "sparc", "x86")')
+
+    def test_list_attr_existential_comparison(self):
+        assert self.q('$tags == "fast"')
+        assert not self.q('$tags == "slow"')
+
+    def test_boolean_combinations(self):
+        assert self.q('$host_up and $host_load < 2 and '
+                      '($host_arch == "mips" or $host_arch == "sparc")')
+        assert self.q('not ($host_load > 2)')
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryEvaluationError):
+            self.q("frobnicate($host_load)")
+
+    def test_injected_function(self):
+        fns = QueryFunctions()
+        fns.register("double", lambda args, rec: args[0] * 2)
+        node = parse("double($cpus) == 8")
+        assert matches(node, self.REC, fns)
+
+    def test_injected_function_sees_record(self):
+        fns = QueryFunctions()
+        fns.register("rate",
+                     lambda args, rec: rec["cpus"] / (1 + rec["host_load"]))
+        assert matches(parse("rate() > 1.5"), self.REC, fns)
+
+    def test_unregister(self):
+        fns = QueryFunctions()
+        fns.register("f", lambda a, r: True)
+        fns.unregister("f")
+        assert "f" not in fns
+
+    def test_evaluate_raw_value(self):
+        assert evaluate(parse("$cpus"), self.REC) == 4
+        assert evaluate(parse("$nope"), self.REC) is UNDEFINED
+
+
+# ---------------------------------------------------------------------------
+# property-based round trip: unparse(parse(q)) reparses to the same AST
+# ---------------------------------------------------------------------------
+
+attr_names = st.sampled_from(
+    ["host_load", "host_arch", "cpus", "x", "tag_list"])
+str_literals = st.text(
+    alphabet="abcXYZ 0123._*", max_size=8).map(Literal)
+num_literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False,
+              allow_infinity=False)).map(Literal)
+leaf = st.one_of(attr_names.map(Attr), str_literals, num_literals,
+                 st.booleans().map(Literal))
+
+
+def node_strategy():
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda t: Or(*t)),
+            st.tuples(children, children).map(lambda t: And(*t)),
+            children.map(Not),
+            st.tuples(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+                      leaf, leaf).map(lambda t: Compare(*t)),
+            leaf.map(lambda a: Call("defined", (a,))),
+            st.tuples(st.sampled_from(["f", "g"]),
+                      st.lists(leaf, max_size=2).map(tuple)).map(
+                          lambda t: Call(*t)),
+        ),
+        max_leaves=8)
+
+
+class TestRoundTrip:
+    @given(node_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_unparse_reparse_identity(self, node):
+        text = node.unparse()
+        reparsed = parse(text)
+        assert reparsed == node, f"{text!r} -> {reparsed!r}"
+
+    @given(node_strategy(),
+           st.dictionaries(attr_names,
+                           st.one_of(st.integers(-5, 5), st.text(max_size=3),
+                                     st.booleans()),
+                           max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_evaluation_total_no_crashes(self, node, record):
+        """Any well-formed query evaluates on any record without raising
+        (except unknown functions, which we register as stubs)."""
+        fns = QueryFunctions()
+        fns.register("f", lambda a, r: True)
+        fns.register("g", lambda a, r: 0)
+        result = matches(node, record, fns)
+        assert isinstance(result, bool)

@@ -1,0 +1,259 @@
+"""Tests for the queue-management system simulators."""
+
+import pytest
+
+from repro.errors import ReservationDeniedError
+from repro.queues import (
+    BackfillQueue,
+    CondorPool,
+    FCFSQueue,
+    JobState,
+    QueueJob,
+)
+from repro.sim import RngRegistry, Simulator
+
+
+def job(work, nodes=1, estimate=None, name=""):
+    return QueueJob(work=work, nodes=nodes, estimated_runtime=estimate,
+                    name=name)
+
+
+class TestQueueJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueJob(work=-1.0)
+        with pytest.raises(ValueError):
+            QueueJob(work=1.0, nodes=0)
+
+    def test_wait_and_turnaround(self):
+        sim = Simulator()
+        q = FCFSQueue(sim, nodes=1)
+        a, b = job(100.0), job(50.0)
+        q.submit(a)
+        q.submit(b)
+        sim.run()
+        assert a.wait_time == 0.0
+        assert a.turnaround == pytest.approx(100.0)
+        assert b.wait_time == pytest.approx(100.0)
+        assert b.turnaround == pytest.approx(150.0)
+
+
+class TestFCFS:
+    def test_runs_in_order(self):
+        sim = Simulator()
+        q = FCFSQueue(sim, nodes=1)
+        finished = []
+        for i in range(3):
+            j = job(10.0, name=f"j{i}")
+            j.on_complete = lambda jj: finished.append(jj.name)
+            q.submit(j)
+        sim.run()
+        assert finished == ["j0", "j1", "j2"]
+
+    def test_parallel_jobs_use_multiple_nodes(self):
+        sim = Simulator()
+        q = FCFSQueue(sim, nodes=4)
+        a, b = job(100.0, nodes=2), job(100.0, nodes=2)
+        q.submit(a)
+        q.submit(b)
+        sim.run_until(1.0)
+        assert a.state == JobState.RUNNING
+        assert b.state == JobState.RUNNING
+        assert q.free_nodes == 0
+
+    def test_head_of_line_blocking(self):
+        sim = Simulator()
+        q = FCFSQueue(sim, nodes=4)
+        q.submit(job(100.0, nodes=4, name="wide"))
+        blocked = job(10.0, nodes=1, name="small")
+        q.submit(job(100.0, nodes=3, name="head"))
+        q.submit(blocked)
+        sim.run_until(1.0)
+        # head needs 3 nodes (0 free) so small stays queued behind it
+        assert blocked.state == JobState.QUEUED
+
+    def test_node_speed_scales_runtime(self):
+        sim = Simulator()
+        q = FCFSQueue(sim, nodes=1, node_speed=2.0)
+        a = job(100.0)
+        q.submit(a)
+        sim.run()
+        assert a.finished_at == pytest.approx(50.0)
+
+    def test_cancel_queued(self):
+        sim = Simulator()
+        q = FCFSQueue(sim, nodes=1)
+        q.submit(job(100.0))
+        b = job(10.0)
+        q.submit(b)
+        assert q.cancel(b)
+        sim.run()
+        assert b.state == JobState.CANCELLED
+        assert b.finished_at is None
+
+    def test_cancel_running_frees_node(self):
+        sim = Simulator()
+        q = FCFSQueue(sim, nodes=1)
+        a, b = job(1000.0), job(10.0)
+        q.submit(a)
+        q.submit(b)
+        sim.run_until(5.0)
+        q.cancel(a)
+        sim.run()
+        assert a.state == JobState.CANCELLED
+        assert b.state == JobState.DONE
+        assert b.finished_at == pytest.approx(15.0)
+
+    def test_utilization_snapshot(self):
+        sim = Simulator()
+        q = FCFSQueue(sim, nodes=4)
+        q.submit(job(100.0, nodes=2))
+        assert q.utilization_snapshot() == pytest.approx(0.5)
+
+    def test_needs_at_least_one_node(self):
+        from repro.errors import ResourceError
+        with pytest.raises(ResourceError):
+            FCFSQueue(Simulator(), nodes=0)
+
+
+class TestBackfill:
+    def test_backfill_fills_holes(self):
+        sim = Simulator()
+        q = BackfillQueue(sim, nodes=4)
+        q.submit(job(100.0, nodes=3, estimate=100.0, name="running"))
+        q.submit(job(100.0, nodes=4, estimate=100.0, name="head"))
+        small = job(50.0, nodes=1, estimate=50.0, name="small")
+        q.submit(small)
+        sim.run_until(1.0)
+        # small fits in the free node and finishes before the head's shadow
+        assert small.state == JobState.RUNNING
+        assert q.backfilled_jobs == 1
+
+    def test_backfill_never_delays_head(self):
+        sim = Simulator()
+        q = BackfillQueue(sim, nodes=4)
+        q.submit(job(100.0, nodes=3, estimate=100.0, name="running"))
+        head = job(100.0, nodes=4, estimate=100.0, name="head")
+        q.submit(head)
+        # this job would run past the shadow time AND needs the head's node
+        late = job(500.0, nodes=1, estimate=500.0, name="late")
+        q.submit(late)
+        sim.run_until(1.0)
+        assert late.state == JobState.QUEUED
+        sim.run()
+        # head starts exactly when the running job ends
+        assert head.started_at == pytest.approx(100.0)
+
+    def test_fcfs_order_without_contention(self):
+        sim = Simulator()
+        q = BackfillQueue(sim, nodes=8)
+        jobs = [job(10.0, nodes=1, name=f"j{i}") for i in range(4)]
+        for j in jobs:
+            q.submit(j)
+        sim.run()
+        assert all(j.state == JobState.DONE for j in jobs)
+
+    def test_reserve_and_deny(self):
+        sim = Simulator()
+        q = BackfillQueue(sim, nodes=4)
+        q.reserve(nodes=3, start=100.0, duration=50.0)
+        with pytest.raises(ReservationDeniedError):
+            q.reserve(nodes=2, start=120.0, duration=10.0)
+        # non-overlapping window is fine
+        q.reserve(nodes=4, start=200.0, duration=10.0)
+
+    def test_reserve_validation(self):
+        sim = Simulator()
+        q = BackfillQueue(sim, nodes=4)
+        with pytest.raises(ReservationDeniedError):
+            q.reserve(nodes=5, start=0.0, duration=10.0)
+        with pytest.raises(ReservationDeniedError):
+            q.reserve(nodes=1, start=0.0, duration=0.0)
+
+    def test_jobs_do_not_collide_with_reservation(self):
+        sim = Simulator()
+        q = BackfillQueue(sim, nodes=2)
+        q.reserve(nodes=2, start=0.0, duration=1000.0)
+        j = job(10.0, nodes=1, estimate=10.0)
+        q.submit(j)
+        sim.run_until(5.0)
+        # the whole machine is reserved: the job must wait
+        assert j.state == JobState.QUEUED
+
+    def test_claim_runs_job_in_window(self):
+        sim = Simulator()
+        q = BackfillQueue(sim, nodes=2)
+        res = q.reserve(nodes=1, start=0.0, duration=1000.0)
+        j = job(10.0, nodes=1)
+        assert q.claim(res, j)
+        sim.run()
+        assert j.state == JobState.DONE
+
+    def test_claim_outside_window_fails(self):
+        sim = Simulator()
+        q = BackfillQueue(sim, nodes=2)
+        res = q.reserve(nodes=1, start=100.0, duration=10.0)
+        assert not q.claim(res, job(1.0))
+
+    def test_release_unblocks(self):
+        sim = Simulator()
+        q = BackfillQueue(sim, nodes=1)
+        res = q.reserve(nodes=1, start=0.0, duration=1000.0)
+        j = job(10.0, nodes=1, estimate=10.0)
+        q.submit(j)
+        sim.run_until(1.0)
+        assert j.state == JobState.QUEUED
+        q.release(res)
+        sim.run()
+        assert j.state == JobState.DONE
+
+
+class TestCondor:
+    def make_pool(self, nodes=4, busy_frac=0.0, **kw):
+        sim = Simulator()
+        pool = CondorPool(sim, nodes, RngRegistry(5),
+                          initially_busy_fraction=busy_frac, **kw)
+        return sim, pool
+
+    def test_jobs_run_on_idle_stations(self):
+        sim, pool = self.make_pool(nodes=2, mean_idle=1e9, mean_busy=1e9)
+        a = job(50.0)
+        pool.submit(a)
+        sim.run_until(60.0)
+        assert a.state == JobState.DONE
+
+    def test_all_busy_queues_jobs(self):
+        sim, pool = self.make_pool(nodes=2, busy_frac=1.0,
+                                   mean_idle=1e9, mean_busy=1e9)
+        a = job(10.0)
+        pool.submit(a)
+        sim.run_until(100.0)
+        assert a.state == JobState.QUEUED
+        assert pool.idle_station_count() == 0
+
+    def test_owner_return_vacates_and_requeues(self):
+        sim, pool = self.make_pool(nodes=1, busy_frac=0.0,
+                                   mean_idle=30.0, mean_busy=30.0)
+        a = job(1e5)  # much longer than any idle period
+        pool.submit(a)
+        sim.run_until(3000.0)
+        assert pool.vacations > 0
+        assert a.preemptions > 0
+
+    def test_vacated_job_preserves_progress(self):
+        sim, pool = self.make_pool(nodes=1, busy_frac=0.0,
+                                   mean_idle=50.0, mean_busy=50.0)
+        a = job(200.0)
+        pool.submit(a)
+        # run until it eventually completes across vacations
+        sim.run_until(50000.0)
+        assert a.state == JobState.DONE
+        # it must have completed exactly its work (progress preserved)
+        assert a.remaining_work == 0.0
+
+    def test_multinode_jobs_not_matched(self):
+        sim, pool = self.make_pool(nodes=4, mean_idle=1e9, mean_busy=1e9)
+        wide = job(10.0, nodes=2)
+        pool.submit(wide)
+        sim.run_until(100.0)
+        assert wide.state == JobState.QUEUED

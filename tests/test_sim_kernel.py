@@ -1,0 +1,324 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import ProcessError, SimTimeError
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator, Timeout
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_and_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        assert sim.step()
+        assert fired == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimTimeError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimTimeError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_fifo_order_for_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("low"), priority=5)
+        sim.schedule(1.0, lambda: order.append("high"), priority=-5)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_time_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append(3))
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(2.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_run_until_is_noop_for_past(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        sim.run_until(5.0)
+        assert sim.now == 10.0
+
+    def test_run_until_processes_boundary_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(True))
+        sim.run_until(5.0)
+        assert fired == [True]
+
+    def test_run_until_defers_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(True))
+        sim.run_until(4.999)
+        assert fired == []
+        assert sim.peek() == 5.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def outer():
+            times.append(sim.now)
+            sim.schedule(2.0, inner)
+
+        def inner():
+            times.append(sim.now)
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = sim.event("e")
+        got = []
+        ev._add_waiter(lambda e: got.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert got == [42]
+
+    def test_double_resolution_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(ProcessError):
+            ev.succeed()
+        with pytest.raises(ProcessError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_waiting_on_resolved_event_fires_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+        got = []
+        ev._add_waiter(lambda e: got.append(e.value))
+        sim.run()
+        assert got == ["v"]
+
+    def test_timeout_resolves_at_deadline(self):
+        sim = Simulator()
+        t = sim.timeout(3.5, value="done")
+        sim.run()
+        assert sim.now == 3.5
+        assert t.ok and t.value == "done"
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimTimeError):
+            sim.timeout(-0.5)
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+        t1, t2 = sim.timeout(1.0), sim.timeout(5.0)
+        cond = sim.all_of([t1, t2])
+        sim.run()
+        assert cond.ok
+        assert sim.now == 5.0
+
+    def test_all_of_fails_on_child_failure(self):
+        sim = Simulator()
+        ev = sim.event()
+        cond = sim.all_of([ev, sim.timeout(1.0)])
+        ev.fail(RuntimeError("boom"))
+        sim.run()
+        assert cond.state == Event.FAILED
+
+    def test_any_of_resolves_on_first(self):
+        sim = Simulator()
+        cond = sim.any_of([sim.timeout(10.0), sim.timeout(2.0)])
+
+        def proc():
+            yield cond
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 2.0
+
+    def test_empty_all_of_is_vacuous(self):
+        sim = Simulator()
+        cond = sim.all_of([])
+        assert cond.ok
+
+
+class TestProcesses:
+    def test_process_runs_and_returns(self):
+        sim = Simulator()
+
+        def body():
+            yield 1.0
+            yield 2.0
+            return "result"
+
+        p = sim.process(body())
+        sim.run()
+        assert p.ok and p.value == "result"
+        assert sim.now == 3.0
+
+    def test_numeric_yield_becomes_timeout(self):
+        sim = Simulator()
+
+        def body():
+            yield 4
+        sim.process(body())
+        sim.run()
+        assert sim.now == 4.0
+
+    def test_process_waits_on_event_value(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def body():
+            value = yield ev
+            return value
+
+        p = sim.process(body())
+        sim.schedule(2.0, lambda: ev.succeed("payload"))
+        sim.run()
+        assert p.value == "payload"
+
+    def test_process_exception_fails_it(self):
+        sim = Simulator()
+
+        def body():
+            yield 1.0
+            raise ValueError("inner")
+
+        p = sim.process(body())
+        sim.run()
+        assert p.state == Event.FAILED
+        assert isinstance(p.value, ValueError)
+
+    def test_failed_event_raises_inside_process(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def body():
+            try:
+                yield ev
+            except RuntimeError as e:
+                return f"caught {e}"
+
+        p = sim.process(body())
+        sim.schedule(1.0, lambda: ev.fail(RuntimeError("bad")))
+        sim.run()
+        assert p.value == "caught bad"
+
+    def test_non_waitable_yield_fails_process(self):
+        sim = Simulator()
+
+        def body():
+            yield "nonsense"
+
+        p = sim.process(body())
+        sim.run()
+        assert p.state == Event.FAILED
+        assert isinstance(p.value, ProcessError)
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ProcessError):
+            sim.process(lambda: None)
+
+    def test_interrupt_is_catchable(self):
+        sim = Simulator()
+
+        def body():
+            try:
+                yield 100.0
+            except Interrupt as i:
+                return (sim.now, f"interrupted: {i.cause}")
+
+        p = sim.process(body())
+        sim.schedule(1.0, lambda: p.interrupt("overload"))
+        sim.run()
+        when, message = p.value
+        assert message == "interrupted: overload"
+        assert when == 1.0  # resumed at interrupt time, not the timeout
+
+    def test_uncaught_interrupt_fails_process(self):
+        sim = Simulator()
+
+        def body():
+            yield 100.0
+
+        p = sim.process(body())
+        sim.schedule(1.0, lambda: p.interrupt())
+        sim.run()
+        assert p.state == Event.FAILED
+
+    def test_waiting_on_another_process(self):
+        sim = Simulator()
+
+        def child():
+            yield 3.0
+            return 21
+
+        def parent():
+            c = sim.process(child())
+            value = yield c
+            return value * 2
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == 42
+
+    def test_stale_wakeup_after_interrupt_ignored(self):
+        sim = Simulator()
+        hits = []
+
+        def body():
+            try:
+                yield 5.0
+            except Interrupt:
+                yield 10.0  # new wait; old timeout must not wake us early
+            hits.append(sim.now)
+
+        p = sim.process(body())
+        sim.schedule(1.0, lambda: p.interrupt())
+        sim.run()
+        assert hits == [11.0]

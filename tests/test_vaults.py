@@ -1,0 +1,119 @@
+"""Tests for Vault Objects and OPR storage."""
+
+import pytest
+
+from repro.errors import (
+    InsufficientResourcesError,
+    UnknownObjectError,
+    VaultIncompatibleError,
+)
+from repro.naming import LOID
+from repro.objects import LegionObject
+from repro.vaults import VaultObject
+
+
+def make_opr(name="o1", size=None):
+    obj = LegionObject(LOID(("d", "obj", name)), LOID(("d", "class", "C")))
+    opr = obj.make_opr(now=1.0)
+    if size is not None:
+        opr.size_bytes = size
+    return obj, opr
+
+
+class TestStorage:
+    def test_store_retrieve_round_trip(self, meta):
+        vault = meta.vaults[0]
+        _obj, opr = make_opr()
+        vault.store_opr(opr)
+        assert vault.has_opr(opr.loid)
+        got = vault.retrieve_opr(opr.loid)
+        assert got.loid == opr.loid
+        assert got.version == opr.version
+        assert vault.stores == 1 and vault.retrievals == 1
+
+    def test_retrieve_returns_copy(self, meta):
+        vault = meta.vaults[0]
+        obj = LegionObject(LOID(("d", "obj", "s")))
+        obj.attributes.set("x", 1)
+        opr = obj.make_opr()
+        opr.state["key"] = [1, 2]
+        vault.store_opr(opr)
+        got = vault.retrieve_opr(opr.loid)
+        got.state["key"].append(3)
+        assert vault.retrieve_opr(opr.loid).state["key"] == [1, 2]
+
+    def test_retrieve_unknown_raises(self, meta):
+        with pytest.raises(UnknownObjectError):
+            meta.vaults[0].retrieve_opr(LOID(("d", "obj", "missing")))
+
+    def test_newer_version_overwrites(self, meta):
+        vault = meta.vaults[0]
+        obj, opr1 = make_opr()
+        vault.store_opr(opr1)
+        opr2 = obj.make_opr(now=2.0)
+        vault.store_opr(opr2)
+        assert vault.retrieve_opr(obj.loid).version == 2
+        assert vault.opr_count() == 1
+
+    def test_stale_version_rejected(self, meta):
+        vault = meta.vaults[0]
+        obj, _ = make_opr()
+        opr1 = obj.make_opr()
+        opr2 = obj.make_opr()
+        vault.store_opr(opr2)
+        with pytest.raises(VaultIncompatibleError):
+            vault.store_opr(opr1)
+
+    def test_capacity_enforced(self):
+        from repro.net import NetLocation
+        vault = VaultObject(LOID(("d", "vault", "small")),
+                            NetLocation("d", "v"), capacity_bytes=100.0)
+        _, opr = make_opr(size=80)
+        vault.store_opr(opr)
+        _, big = make_opr("o2", size=50)
+        with pytest.raises(InsufficientResourcesError):
+            vault.store_opr(big)
+        assert vault.free_bytes == pytest.approx(20.0)
+
+    def test_delete(self, meta):
+        vault = meta.vaults[0]
+        _, opr = make_opr()
+        vault.store_opr(opr)
+        vault.delete_opr(opr.loid)
+        assert not vault.has_opr(opr.loid)
+        with pytest.raises(UnknownObjectError):
+            vault.delete_opr(opr.loid)
+
+    def test_storage_cost(self):
+        from repro.net import NetLocation
+        vault = VaultObject(LOID(("d", "vault", "pay")),
+                            NetLocation("d", "v"), cost_per_byte=0.01)
+        assert vault.storage_cost(1000) == pytest.approx(10.0)
+
+
+class TestCompatibility:
+    def test_compatible_with_same_domain_host(self, meta):
+        vault = meta.vaults[0]
+        host = meta.hosts[0]
+        assert vault.compatible_with(host)
+
+    def test_incompatible_when_host_does_not_list_vault(self, meta):
+        vault = meta.vaults[0]
+        host = meta.hosts[0]
+        host._compatible_vaults.remove(vault.loid)
+        assert not vault.compatible_with(host)
+
+    def test_domain_restriction(self, multi):
+        host = multi.hosts[0]
+        restricted = multi.add_vault("dom1", name="locked",
+                                     allowed_domains=["dom1"])
+        # host is in dom0 — even if it listed the vault, policy refuses
+        host.add_compatible_vault(restricted.loid)
+        assert not restricted.compatible_with(host)
+        dom1_host = [h for h in multi.hosts if h.domain == "dom1"][0]
+        assert restricted.compatible_with(dom1_host)
+
+    def test_attributes_exported(self, meta):
+        vault = meta.vaults[0]
+        assert vault.attributes.get("vault_domain") == "uva"
+        assert vault.attributes.get("vault_capacity_bytes") > 0
