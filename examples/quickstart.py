@@ -7,7 +7,8 @@ This walks the paper's core loop end to end:
 2. register an application class with per-platform implementations;
 3. compute a placement with the Random Scheduler (Fig. 7);
 4. let the Enactor negotiate reservations and instantiate (Fig. 3);
-5. advance virtual time until the objects complete.
+5. advance virtual time until the objects complete;
+6. render the run's metrics snapshot (docs/observability.md).
 
 Run:  python examples/quickstart.py
 """
@@ -57,6 +58,12 @@ def main() -> None:
     print("final host loads:", {k: round(v, 2)
                                 for k, v in meta.snapshot_loads().items()})
     print("enactor stats:", meta.enactor.stats)
+
+    # -- 6. observability ----------------------------------------------------------
+    from repro.obs import build_snapshot, render_report
+    print()
+    print(render_report(build_snapshot(meta.metrics),
+                        title="quickstart metrics"))
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from .enactor import Enactor, EnactResult
 from .metasystem import Metasystem
 from .monitor import ExecutionMonitor, MigrationReport, Migrator
 from .naming import LOID, ContextSpace, LOIDMinter
+from .obs import MetricsRegistry, NullMetricsRegistry
 from .objects import (
     ClassObject,
     Implementation,
@@ -92,4 +93,6 @@ __all__ = [
     # enactor & monitor
     "Enactor", "EnactResult", "ExecutionMonitor", "Migrator",
     "MigrationReport",
+    # observability
+    "MetricsRegistry", "NullMetricsRegistry",
 ]

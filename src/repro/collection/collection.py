@@ -35,6 +35,7 @@ from ..errors import AuthenticationError, NotAMemberError
 from ..naming.loid import LOID
 from ..net.topology import NetLocation
 from ..objects.base import LegionObject
+from ..obs.registry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from .query.ast import Node
 from .query.evaluate import QueryFunctions, matches
 from .query.parser import parse
@@ -99,11 +100,13 @@ class Collection(LegionObject):
 
     def __init__(self, loid: LOID, location: Optional[NetLocation] = None,
                  require_auth: bool = True,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         super().__init__(loid)
         self.location = location
         self.require_auth = require_auth
         self._clock = clock or (lambda: 0.0)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._records: Dict[LOID, CollectionRecord] = {}
         self._secret = os.urandom(16)
         self.functions = QueryFunctions()
@@ -126,6 +129,7 @@ class Collection(LegionObject):
                 or not hmac.compare_digest(credential._mac,
                                            self._mac_for(member))):
             self.auth_failures += 1
+            self.metrics.count("collection_auth_failures_total")
             raise AuthenticationError(
                 f"caller is not authorized to modify the record of "
                 f"{member}")
@@ -146,6 +150,7 @@ class Collection(LegionObject):
             self._records[joiner] = record
         if attributes:
             record.apply_update(attributes, now)
+        self.metrics.set_gauge("collection_members", len(self._records))
         return Credential(joiner, self._mac_for(joiner))
 
     def leave(self, leaver: LOID,
@@ -155,6 +160,7 @@ class Collection(LegionObject):
             raise NotAMemberError(f"{leaver} is not a member")
         self._authenticate(leaver, credential)
         del self._records[leaver]
+        self.metrics.set_gauge("collection_members", len(self._records))
 
     def update_entry(self, member: LOID, attributes: Mapping[str, Any],
                      credential: Optional[Credential] = None) -> None:
@@ -165,6 +171,7 @@ class Collection(LegionObject):
         self._authenticate(member, credential)
         record.apply_update(attributes, self._clock())
         self.updates_applied += 1
+        self.metrics.count("collection_updates_total", path="push")
 
     def query(self, query: str) -> List[CollectionRecord]:
         """QueryCollection — records whose attributes satisfy the query.
@@ -184,7 +191,17 @@ class Collection(LegionObject):
             view = _RecordView(record, self._computed)
             if matches(ast, view, self.functions):
                 out.append(record)
+        self._record_query_metrics("scan", len(self._records), len(out))
         return out
+
+    def _record_query_metrics(self, path: str, candidates: int,
+                              results: int) -> None:
+        """One query's worth of observability (path = scan | index)."""
+        self.metrics.count("collection_queries_total", path=path)
+        self.metrics.observe("collection_query_candidates", candidates,
+                             buckets=DEFAULT_SIZE_BUCKETS, path=path)
+        self.metrics.observe("collection_query_results", results,
+                             buckets=DEFAULT_SIZE_BUCKETS, path=path)
 
     def query_loids(self, query: str) -> List[LOID]:
         return [r.member for r in self.query(query)]
@@ -205,6 +222,8 @@ class Collection(LegionObject):
             self._records[source.loid] = record
         record.apply_update(source.attributes.snapshot(), now)
         self.updates_applied += 1
+        self.metrics.count("collection_updates_total", path="pull")
+        self.metrics.set_gauge("collection_members", len(self._records))
 
     # -- function injection ------------------------------------------------------
     def inject_function(self, name: str,

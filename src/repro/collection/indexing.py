@@ -181,4 +181,5 @@ class IndexedCollection(Collection):
             view = _RecordView(record, self._computed)
             if matches(ast, view, self.functions):
                 out.append(record)
+        self._record_query_metrics("index", len(candidates), len(out))
         return out

@@ -47,6 +47,7 @@ from ..hosts.reservations import (
 from ..naming.loid import LOID
 from ..net.topology import NetLocation
 from ..net.transport import Call, Transport
+from ..obs.registry import MetricsRegistry
 from ..objects.class_object import ClassObject, CreateResult, Placement
 from ..schedule.mapping import ScheduleMapping
 from ..schedule.schedule import (
@@ -120,11 +121,14 @@ class Enactor:
                  offered_price: float = 0.0,
                  naive_variant_handling: bool = False,
                  sequential_coallocation: bool = False,
-                 max_variant_attempts: int = 32):
+                 max_variant_attempts: int = 32,
+                 metrics: Optional[MetricsRegistry] = None):
         self.transport = transport
         self.resolver = resolver
         self.location = location
         self.tracer = tracer if tracer is not None else transport.tracer
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(lambda: transport.sim.now))
         self.coallocator = CoAllocator(
             transport, resolver, src=location,
             requester_domain=requester_domain,
@@ -151,18 +155,20 @@ class Enactor:
         self._cancelled_targets = set()
         last_errors: Dict[int, str] = {}
         last_detail = ""
-        for m_idx, master in enumerate(request.masters):
-            self.stats.master_attempts += 1
-            feedback = self._try_master(request, m_idx, master, rtype,
-                                        duration, start_time, timeout)
-            if feedback.ok:
-                self.tracer.emit("enactor", "reserved",
-                                 master=m_idx,
-                                 variant=(feedback.variant.label
-                                          if feedback.variant else None))
-                return feedback
-            last_errors = feedback.entry_errors or last_errors
-            last_detail = feedback.failure_detail or last_detail
+        with self.metrics.time("enactor_step_seconds", step="negotiate"):
+            for m_idx, master in enumerate(request.masters):
+                self.stats.master_attempts += 1
+                self.metrics.count("enactor_master_attempts_total")
+                feedback = self._try_master(request, m_idx, master, rtype,
+                                            duration, start_time, timeout)
+                if feedback.ok:
+                    self.tracer.emit("enactor", "reserved",
+                                     master=m_idx,
+                                     variant=(feedback.variant.label
+                                              if feedback.variant else None))
+                    return feedback
+                last_errors = feedback.entry_errors or last_errors
+                last_detail = feedback.failure_detail or last_detail
         detail = "all master and variant schedules failed"
         if last_detail:
             detail += f" (last: {last_detail})"
@@ -176,17 +182,22 @@ class Enactor:
                  rtype: ReservationType, duration: float,
                  start_time: float, timeout: float
                  ) -> List[ReservationOutcome]:
-        outcomes = self.coallocator.reserve_batch(
-            indexed, rtype=rtype, duration=duration,
-            start_time=start_time, timeout=timeout)
+        with self.metrics.time("enactor_step_seconds", step="reserve"):
+            outcomes = self.coallocator.reserve_batch(
+                indexed, rtype=rtype, duration=duration,
+                start_time=start_time, timeout=timeout)
         self.stats.reservation_requests += len(indexed)
+        self.metrics.count("enactor_reservation_requests_total",
+                           len(indexed))
         for o in outcomes:
             if o.ok:
                 self.stats.reservations_granted += 1
+                self.metrics.count("enactor_reservations_granted_total")
                 key = (o.mapping.host_loid, o.mapping.vault_loid,
                        o.mapping.class_loid)
                 if key in self._cancelled_targets:
                     self.stats.thrash_count += 1
+                    self.metrics.count("enactor_thrash_total")
         return outcomes
 
     def _cancel_holdings(self, holdings: Dict[int, _Holding]) -> None:
@@ -196,7 +207,10 @@ class Enactor:
         for mapping, _tok in pairs:
             self._cancelled_targets.add(
                 (mapping.host_loid, mapping.vault_loid, mapping.class_loid))
-        self.stats.cancellations += self.coallocator.cancel_batch(pairs)
+        with self.metrics.time("enactor_step_seconds", step="cancel"):
+            cancelled = self.coallocator.cancel_batch(pairs)
+        self.stats.cancellations += cancelled
+        self.metrics.count("enactor_cancellations_total", cancelled)
 
     def _try_master(self, request: ScheduleRequestList, m_idx: int,
                     master: MasterSchedule, rtype: ReservationType,
@@ -246,6 +260,7 @@ class Enactor:
                 break
             tried.append(variant)
             self.stats.variant_attempts += 1
+            self.metrics.count("enactor_variant_attempts_total")
             new_entries = master.resolve(variant)
 
             if self.naive_variant_handling:
@@ -332,6 +347,36 @@ class Enactor:
         if handle.enacted:
             raise EnactmentError("this reservation set was already enacted")
         result = EnactResult(ok=True)
+        with self.metrics.time("enactor_step_seconds", step="enact"):
+            self._enact_entries(handle, result)
+        handle.enacted = True
+        if result.ok:
+            self.stats.enactments += 1
+        else:
+            self.stats.enact_failures += 1
+            result.detail = "; ".join(
+                f"entry {i}: {r.reason}"
+                for i, r in sorted(result.entry_results.items())
+                if not r.ok)
+            if rollback_on_failure and result.created:
+                for loid in result.created:
+                    class_obj = self.resolver(loid.class_loid())
+                    if isinstance(class_obj, ClassObject):
+                        try:
+                            class_obj.destroy_instance(
+                                loid, now=self.transport.sim.now)
+                        except Exception:
+                            pass
+                result.created = []
+        self.metrics.count("enactor_enactments_total",
+                           ok=str(result.ok).lower())
+        self.tracer.emit("enactor", "enacted", ok=result.ok,
+                         created=len(result.created))
+        return result
+
+    def _enact_entries(self, handle: _ReservationSet,
+                       result: EnactResult) -> None:
+        """Steps 7-11: create instances for each held entry in place."""
         for idx, mapping in handle.entries:
             holding = handle.holdings.get(idx)
             if holding is None:
@@ -370,26 +415,3 @@ class Enactor:
                 result.created.extend(created.loids or [created.loid])
             else:
                 result.ok = False
-
-        handle.enacted = True
-        if result.ok:
-            self.stats.enactments += 1
-        else:
-            self.stats.enact_failures += 1
-            result.detail = "; ".join(
-                f"entry {i}: {r.reason}"
-                for i, r in sorted(result.entry_results.items())
-                if not r.ok)
-            if rollback_on_failure and result.created:
-                for loid in result.created:
-                    class_obj = self.resolver(loid.class_loid())
-                    if isinstance(class_obj, ClassObject):
-                        try:
-                            class_obj.destroy_instance(
-                                loid, now=self.transport.sim.now)
-                        except Exception:
-                            pass
-                result.created = []
-        self.tracer.emit("enactor", "enacted", ok=result.ok,
-                         created=len(result.created))
-        return result

@@ -55,14 +55,14 @@ class BatchQueueHost(HostObject):
         super().__init__(loid, machine, sim, **kwargs)
 
     # -- reservations -----------------------------------------------------------
-    def make_reservation(self, vault_loid: LOID, class_loid: LOID,
-                         rtype: ReservationType = None,  # type: ignore[assignment]
-                         start_time: float = INSTANTANEOUS,
-                         duration: float = 3600.0,
-                         timeout: float = 60.0,
-                         requester_domain: str = "",
-                         offered_price: float = 0.0,
-                         now: Optional[float] = None) -> ReservationToken:
+    def _grant_reservation(self, vault_loid: LOID, class_loid: LOID,
+                           rtype: ReservationType = None,  # type: ignore[assignment]
+                           start_time: float = INSTANTANEOUS,
+                           duration: float = 3600.0,
+                           timeout: float = 60.0,
+                           requester_domain: str = "",
+                           offered_price: float = 0.0,
+                           now: Optional[float] = None) -> ReservationToken:
         from .reservations import REUSABLE_TIME
         if rtype is None:
             rtype = REUSABLE_TIME
@@ -71,7 +71,7 @@ class BatchQueueHost(HostObject):
             raise ReservationDeniedError(
                 f"host {self.loid}: queue full "
                 f"({self.queue.queue_length} jobs)")
-        token = super().make_reservation(
+        token = super()._grant_reservation(
             vault_loid, class_loid, rtype=rtype, start_time=start_time,
             duration=duration, timeout=timeout,
             requester_domain=requester_domain,

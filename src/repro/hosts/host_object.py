@@ -36,6 +36,7 @@ from ..errors import (
 )
 from ..naming.loid import LOID
 from ..objects.base import LegionObject
+from ..obs.registry import MetricsRegistry
 from ..sim.kernel import Simulator
 from .machine import SimJob, SimMachine
 from .policy import AcceptAll, PlacementPolicy, PlacementRequest
@@ -77,10 +78,15 @@ class HostObject(LegionObject):
                  policy: Optional[PlacementPolicy] = None,
                  slots: int = 0,
                  price_per_cpu_second: float = 0.0,
-                 reassess_interval: float = 30.0):
+                 reassess_interval: float = 30.0,
+                 metrics: Optional[MetricsRegistry] = None):
         super().__init__(loid)
         self.machine = machine
         self.sim = sim
+        # usually replaced by the Metasystem's shared registry at wiring
+        # time (instruments are looked up per call, so rebinding is safe)
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(lambda: sim.now))
         self.policy = policy or AcceptAll()
         self.slots = slots or max(2 * machine.spec.cpus, 2)
         self.price = price_per_cpu_second
@@ -128,7 +134,33 @@ class HostObject(LegionObject):
         that the vault is reachable, that sufficient resources are available,
         and that its local placement policy permits instantiating the
         object."
+
+        Grants and denials are reported to the metrics registry; the
+        admission logic itself lives in :meth:`_grant_reservation`, which
+        subclasses override.
         """
+        try:
+            token = self._grant_reservation(
+                vault_loid, class_loid, rtype=rtype, start_time=start_time,
+                duration=duration, timeout=timeout,
+                requester_domain=requester_domain,
+                offered_price=offered_price, now=now)
+        except Exception as exc:
+            self.metrics.count("host_reservations_rejected_total",
+                               reason=type(exc).__name__)
+            raise
+        self.metrics.count("host_reservations_granted_total",
+                           rtype=str(token.rtype))
+        return token
+
+    def _grant_reservation(self, vault_loid: LOID, class_loid: LOID,
+                           rtype: ReservationType = REUSABLE_TIME,
+                           start_time: float = INSTANTANEOUS,
+                           duration: float = 3600.0,
+                           timeout: float = 60.0,
+                           requester_domain: str = "",
+                           offered_price: float = 0.0,
+                           now: Optional[float] = None) -> ReservationToken:
         now = self.sim.now if now is None else now
         if not self.machine.up:
             raise ReservationDeniedError(f"host {self.loid}: machine down")
@@ -180,6 +212,8 @@ class HostObject(LegionObject):
                 raise InvalidReservationError(
                     f"token {token.token_id} reserves vault "
                     f"{token.vault_loid}, not {vault_loid}")
+            if self.reservations.timed_out(token, now):
+                self.metrics.count("host_reservation_timeouts_total")
             self.reservations.redeem(token, now)
         else:
             # Un-reserved direct placement (the Class default path) still
@@ -227,11 +261,13 @@ class HostObject(LegionObject):
             placed = self._execute(instance, vault_loid, now)
         except Exception as exc:
             self.start_failures += 1
+            self.metrics.count("host_starts_total", ok="false")
             return StartResult(False, reason=f"{type(exc).__name__}: {exc}")
         self.placed[instance.loid] = placed
         instance.host_loid = self.loid
         instance.vault_loid = vault_loid
         self.starts += 1
+        self.metrics.count("host_starts_total", ok="true")
         return StartResult(True, loids=[instance.loid])
 
     def start_objects(self, instances: List[LegionObject], vault_loid: LOID,

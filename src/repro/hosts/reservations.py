@@ -230,6 +230,17 @@ class ReservationTable:
             return False  # too early to redeem a future reservation
         return True
 
+    def timed_out(self, token: ReservationToken, now: float) -> bool:
+        """True when an instantaneous grant expired unconfirmed — the
+        reservation-timeout case the observability layer counts apart
+        from ordinary denials."""
+        entry = self._entries.get(token.token_id)
+        if entry is None or entry.cancelled or entry.confirmed:
+            return False
+        tok = entry.token
+        return (tok.instantaneous and tok.timeout > 0
+                and now > tok.issued_at + tok.timeout)
+
     def redeem(self, token: ReservationToken, now: float) -> None:
         """Consume the token for one StartObject (implicit confirmation)."""
         if not self.check_reservation(token, now):

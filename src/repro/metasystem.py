@@ -44,6 +44,7 @@ from .net.latency import LatencyModel, MetasystemLatencyModel
 from .net.topology import AdministrativeDomain, NetLocation, Topology
 from .net.transport import Transport
 from .objects.base import LegionObject
+from .obs.registry import MetricsRegistry
 from .objects.class_object import ClassObject, Implementation, Placement
 from .queues.backfill import BackfillQueue
 from .queues.base import QueueSystem
@@ -86,17 +87,30 @@ class Metasystem:
                  loss_probability: float = 0.0,
                  reassess_interval: float = 30.0,
                  require_collection_auth: bool = True,
-                 domain: str = "legion"):
+                 domain: str = "legion",
+                 trace_max_records: Optional[int] = None):
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
-        self.tracer = Tracer(lambda: self.sim.now)
+        self.tracer = Tracer(lambda: self.sim.now,
+                             max_records=trace_max_records)
+        self.metrics = MetricsRegistry(clock=lambda: self.sim.now)
+        self.metrics.gauge_fn("sim_events_processed",
+                              lambda: self.sim.events_processed,
+                              help="kernel actions dispatched so far")
+        self.metrics.gauge_fn("sim_queue_depth",
+                              lambda: self.sim.queue_depth,
+                              help="actions pending on the event heap")
+        self.metrics.gauge_fn("tracer_records",
+                              lambda: len(self.tracer),
+                              help="trace records currently retained")
         self.topology = Topology()
         self.latency_model = latency_model or MetasystemLatencyModel(
             self.topology)
         self.transport = Transport(self.sim, self.topology,
                                    self.latency_model, self.rngs,
                                    tracer=self.tracer,
-                                   loss_probability=loss_probability)
+                                   loss_probability=loss_probability,
+                                   metrics=self.metrics)
         self.minter = LOIDMinter(domain)
         self.context = ContextSpace()
         self.reassess_interval = reassess_interval
@@ -110,13 +124,13 @@ class Metasystem:
         self.collection = Collection(
             self.minter.mint("svc", "collection"),
             location=None, require_auth=require_collection_auth,
-            clock=lambda: self.sim.now)
+            clock=lambda: self.sim.now, metrics=self.metrics)
         self._register(self.collection)
         self.context.bind("/etc/Collection", self.collection.loid)
         self._host_credentials: Dict[LOID, Credential] = {}
 
         self.enactor = Enactor(self.transport, self.resolve,
-                               tracer=self.tracer)
+                               tracer=self.tracer, metrics=self.metrics)
         self.migrator = Migrator(self.transport, self.resolve)
         self.monitor: Optional[ExecutionMonitor] = None
         self._machine_serial = itertools.count()
@@ -167,6 +181,7 @@ class Metasystem:
     # hosts
     # ------------------------------------------------------------------
     def _wire_host(self, host: HostObject, push_to_collection: bool) -> None:
+        host.metrics = self.metrics
         self._register(host)
         self.hosts.append(host)
         self.context.bind(f"/hosts/{host.machine.name}", host.loid)

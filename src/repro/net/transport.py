@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import HostUnreachableError, MessageLostError
+from ..obs.registry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
 from ..sim.tracing import Tracer
@@ -61,7 +62,8 @@ class Transport:
     def __init__(self, sim: Simulator, topology: Topology,
                  latency_model: LatencyModel, rngs: RngRegistry,
                  tracer: Optional[Tracer] = None,
-                 loss_probability: float = 0.0):
+                 loss_probability: float = 0.0,
+                 metrics: Optional[MetricsRegistry] = None):
         if not 0.0 <= loss_probability <= 1.0:
             raise ValueError("loss_probability must be in [0, 1]")
         self.sim = sim
@@ -71,9 +73,18 @@ class Transport:
         self._loss_rng = rngs.stream("net", "loss")
         self.tracer = tracer if tracer is not None else Tracer(
             lambda: sim.now)
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(lambda: sim.now))
         self.loss_probability = loss_probability
         self.messages_sent = 0
         self.messages_lost = 0
+
+    def _count_message(self, lost: bool = False) -> None:
+        self.messages_sent += 1
+        self.metrics.count("transport_messages_total", kind="sent")
+        if lost:
+            self.messages_lost += 1
+            self.metrics.count("transport_messages_total", kind="lost")
 
     # -- single call --------------------------------------------------------
     def _one_way(self, src: Optional[NetLocation], dst: NetLocation,
@@ -82,10 +93,10 @@ class Transport:
         if not self.topology.reachable(src, dst):
             raise HostUnreachableError(f"{src} -> {dst} unreachable "
                                        f"({label})")
-        self.messages_sent += 1
-        if (self.loss_probability > 0.0
-                and self._loss_rng.random() < self.loss_probability):
-            self.messages_lost += 1
+        lost = (self.loss_probability > 0.0
+                and self._loss_rng.random() < self.loss_probability)
+        self._count_message(lost=lost)
+        if lost:
             # the sender still waits out a timeout before seeing the loss
             lat = self.latency_model.sample_latency(self.rng, src, dst)
             self.sim.run_until(self.sim.now + 4.0 * lat)
@@ -121,6 +132,8 @@ class Transport:
         self.tracer.emit("net", "invoke",
                          src=str(src), dst=str(dst), label=name,
                          rtt=self.sim.now - t0)
+        self.metrics.observe("transport_invoke_rtt_seconds",
+                             self.sim.now - t0)
         return result
 
     def transfer(self, src: Optional[NetLocation], dst: NetLocation,
@@ -133,7 +146,8 @@ class Transport:
                                        f"({label})")
         elapsed = self.latency_model.transfer_time(self.rng, nbytes, src,
                                                    dst)
-        self.messages_sent += 1
+        self._count_message()
+        self.metrics.count("transport_transfer_bytes_total", nbytes)
         self.sim.run_until(self.sim.now + elapsed)
         self.tracer.emit("net", "transfer", src=str(src), dst=str(dst),
                          nbytes=nbytes, elapsed=elapsed)
@@ -161,10 +175,10 @@ class Transport:
                     error=HostUnreachableError(f"{call.src} -> {call.dst}"),
                     completed_at=start)
                 continue
-            self.messages_sent += 1
-            if (self.loss_probability > 0.0
-                    and self._loss_rng.random() < self.loss_probability):
-                self.messages_lost += 1
+            lost = (self.loss_probability > 0.0
+                    and self._loss_rng.random() < self.loss_probability)
+            self._count_message(lost=lost)
+            if lost:
                 lat = self.latency_model.sample_latency(
                     self.rng, call.src, call.dst)
                 outcomes[i] = CallOutcome(
@@ -187,7 +201,7 @@ class Transport:
             reply_lat = self.latency_model.sample_latency(
                 self.rng, call.dst, call.src) if call.src is not None else \
                 self.latency_model.sample_latency(self.rng, None, call.dst)
-            self.messages_sent += 1
+            self._count_message()
             done = self.sim.now + reply_lat
             outcomes[i] = CallOutcome(ok, value=value, error=err,
                                       completed_at=done)
@@ -199,4 +213,6 @@ class Transport:
         self.sim.run_until(completion)
         self.tracer.emit("net", "parallel_invoke", n=len(calls),
                          elapsed=self.sim.now - start)
+        self.metrics.observe("transport_parallel_batch_size", len(calls),
+                             buckets=DEFAULT_SIZE_BUCKETS)
         return outcomes

@@ -1,0 +1,44 @@
+"""repro.obs — the runtime observability subsystem.
+
+A :class:`MetricsRegistry` of Counter/Gauge/Histogram instruments with
+labeled children, virtual-clock :class:`Timer` spans, deterministic
+snapshots, and JSON/prometheus exporters.  Every Metasystem owns one
+(``meta.metrics``, alongside ``meta.tracer``); the metric name catalogue
+is documented in ``docs/observability.md``.
+"""
+
+from .export import (
+    build_snapshot,
+    json_to_snapshot,
+    render_report,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
+from .registry import (
+    Counter,
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    Timer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "build_snapshot",
+    "snapshot_to_json",
+    "json_to_snapshot",
+    "snapshot_to_prometheus",
+    "render_report",
+]

@@ -264,6 +264,11 @@ class Simulator:
         """Current virtual time."""
         return self._now
 
+    @property
+    def queue_depth(self) -> int:
+        """Number of actions currently scheduled on the event heap."""
+        return len(self._heap)
+
     # -- scheduling primitives ----------------------------------------------
     def schedule(self, delay: float, action: Callable[[], None],
                  priority: int = 0) -> None:

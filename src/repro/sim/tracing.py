@@ -7,8 +7,9 @@ reservation-thrashing counts (E7), and migration timelines (E12).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, MutableSequence, Optional
 
 __all__ = ["TraceRecord", "Tracer", "NullTracer"]
 
@@ -28,14 +29,26 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` entries, with category filtering."""
+    """Collects :class:`TraceRecord` entries, with category filtering.
+
+    With ``max_records`` set, ``records`` becomes a ring buffer holding
+    only the most recent entries — long soak runs stay bounded — while
+    :meth:`count` and :attr:`total_records` remain exact over the whole
+    run.
+    """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
-                 enabled_categories: Optional[set] = None):
+                 enabled_categories: Optional[set] = None,
+                 max_records: Optional[int] = None):
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1")
         self._clock = clock or (lambda: 0.0)
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.records: MutableSequence[TraceRecord] = (
+            [] if max_records is None else deque(maxlen=max_records))
         self.enabled_categories = enabled_categories  # None = everything
         self._counts: Dict[str, int] = {}
+        self.total_records = 0
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the virtual clock after construction."""
@@ -48,6 +61,7 @@ class Tracer:
             return
         self.records.append(
             TraceRecord(self._clock(), category, event, details))
+        self.total_records += 1
         key = f"{category}/{event}"
         self._counts[key] = self._counts.get(key, 0) + 1
 
@@ -71,6 +85,7 @@ class Tracer:
     def clear(self) -> None:
         self.records.clear()
         self._counts.clear()
+        self.total_records = 0
 
     def __len__(self) -> int:
         return len(self.records)

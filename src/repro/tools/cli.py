@@ -10,6 +10,9 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim query '$host_load < 1 and $host_arch == "sparc"'
    $ legion-sim run --count 6 --scheduler irs --work 200
    $ legion-sim bench --scheduler random --scheduler load --count 8
+   $ legion-sim metrics --count 4 --format table
+
+``repro-cli`` is an alias of the same entry point.
 
 Every invocation builds the same seeded testbed (``--seed``), so outputs
 are reproducible and scriptable.
@@ -132,6 +135,39 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace, out) -> int:
+    """Run a seeded workload and render the metrics snapshot."""
+    from ..obs import (
+        build_snapshot,
+        render_report,
+        snapshot_to_json,
+        snapshot_to_prometheus,
+    )
+    meta = _build_meta(args)
+    app = meta.create_class("cli-app",
+                            implementations_for_all_platforms(),
+                            work_units=args.work)
+    try:
+        scheduler = meta.make_scheduler(args.scheduler)
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+    outcome = scheduler.run([ObjectClassRequest(app, count=args.count)])
+    if outcome.ok and args.wait:
+        wait_for_completion(meta, app, outcome.created)
+    snapshot = build_snapshot(meta.metrics)
+    if args.format == "json":
+        print(snapshot_to_json(snapshot, indent=2), file=out)
+    elif args.format == "prom":
+        print(snapshot_to_prometheus(snapshot), end="", file=out)
+    else:
+        print(render_report(
+            snapshot,
+            title=f"metrics: {args.count} x {args.work:.0f}-unit tasks "
+                  f"via {args.scheduler} (seed {args.seed})"), file=out)
+    return 0 if outcome.ok else 1
+
+
 def cmd_bench(args: argparse.Namespace, out) -> int:
     table = ExperimentTable(
         f"scheduler comparison: {args.count} x {args.work:.0f}-unit tasks",
@@ -194,6 +230,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a sequence diagram of the first N "
                         "protocol invocations")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("metrics",
+                       help="run a workload and export the metrics "
+                            "snapshot")
+    _add_testbed_args(p)
+    p.add_argument("--count", type=int, default=4)
+    p.add_argument("--work", type=float, default=200.0)
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn")
+    p.add_argument("--wait", action="store_true",
+                   help="advance virtual time until completion")
+    p.add_argument("--format", choices=("table", "json", "prom"),
+                   default="table",
+                   help="output format (default table)")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("bench", help="compare schedulers on one workload")
     _add_testbed_args(p)

@@ -68,6 +68,44 @@ class TestRun:
         assert "unknown scheduler" in text
 
 
+class TestMetrics:
+    def test_table_covers_instrumented_families(self):
+        code, text = run_cli("metrics", "--count", "2", "--work", "50",
+                             "--load", "0")
+        assert code == 0
+        for family in ("collection_queries_total", "enactor_step_seconds",
+                       "host_reservations_granted_total",
+                       "transport_messages_total", "sim_events_processed"):
+            assert family in text
+
+    def test_json_format_parses(self):
+        import json
+        code, text = run_cli("metrics", "--count", "2", "--work", "50",
+                             "--load", "0", "--format", "json")
+        assert code == 0
+        snapshot = json.loads(text)
+        assert snapshot["metrics"]
+
+    def test_prom_format(self):
+        code, text = run_cli("metrics", "--count", "2", "--work", "50",
+                             "--load", "0", "--format", "prom")
+        assert code == 0
+        assert "# TYPE transport_messages_total counter" in text
+        assert 'transport_messages_total{kind="sent"}' in text
+
+    def test_deterministic_across_invocations(self):
+        a = run_cli("metrics", "--count", "2", "--seed", "5", "--load",
+                    "0", "--format", "json")
+        b = run_cli("metrics", "--count", "2", "--seed", "5", "--load",
+                    "0", "--format", "json")
+        assert a == b
+
+    def test_unknown_scheduler(self):
+        code, text = run_cli("metrics", "--scheduler", "sorcery")
+        assert code == 2
+        assert "unknown scheduler" in text
+
+
 class TestBench:
     def test_bench_compares_schedulers(self):
         code, text = run_cli("bench", "--count", "3", "--work", "50",

@@ -161,3 +161,92 @@ class TestPropertyEquivalence:
         query = " and ".join(terms)
         assert ([r.member for r in plain.query(query)]
                 == [r.member for r in indexed.query(query)])
+
+
+# -- differential fuzz: random records x random query trees ----------------
+
+record_st = st.fixed_dictionaries({
+    "host_arch": st.sampled_from(["sparc", "mips", "x86", "alpha"]),
+    "host_os_name": st.sampled_from(["SunOS", "IRIX", "Linux"]),
+    "host_load": st.floats(min_value=0.0, max_value=8.0,
+                           allow_nan=False, allow_infinity=False),
+    "host_up": st.booleans(),
+    "cpus": st.integers(min_value=1, max_value=8),
+    "tags": st.lists(st.sampled_from(["fast", "slow", "cheap", "big"]),
+                     max_size=2),
+})
+
+
+def _literal(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f'"{value}"'
+    return repr(value)
+
+
+_comparison_st = st.one_of(
+    st.tuples(st.sampled_from(["host_arch", "host_os_name"]),
+              st.sampled_from(["==", "!="]),
+              st.sampled_from(["sparc", "mips", "x86", "IRIX", "Linux"])),
+    st.tuples(st.just("host_load"),
+              st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+              st.integers(min_value=0, max_value=8)),
+    st.tuples(st.just("cpus"),
+              st.sampled_from(["==", "!=", "<", ">="]),
+              st.integers(min_value=1, max_value=8)),
+    st.tuples(st.just("host_up"), st.just("=="), st.booleans()),
+    st.tuples(st.just("tags"), st.just("=="),
+              st.sampled_from(["fast", "slow", "cheap", "big"])),
+).map(lambda t: f"${t[0]} {t[1]} {_literal(t[2])}")
+
+query_st = st.recursive(
+    _comparison_st,
+    lambda inner: st.one_of(
+        st.tuples(inner, inner).map(lambda t: f"({t[0]} and {t[1]})"),
+        st.tuples(inner, inner).map(lambda t: f"({t[0]} or {t[1]})"),
+        inner.map(lambda q: f"not {q}"),
+    ),
+    max_leaves=6)
+
+
+class TestDifferentialFuzz:
+    """IndexedCollection must agree with a linear-scan Collection on
+    arbitrary record sets and arbitrary query trees — the index is an
+    optimization, never a semantic change."""
+
+    @given(st.lists(record_st, min_size=0, max_size=25), query_st)
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_records_and_queries_agree(self, records, query):
+        plain = Collection(LOID(("d", "svc", "p")), require_auth=False)
+        indexed = IndexedCollection(LOID(("d", "svc", "i")),
+                                    require_auth=False)
+        for i, attrs in enumerate(records):
+            plain.join(loid(f"h{i}"), dict(attrs))
+            indexed.join(loid(f"h{i}"), dict(attrs))
+        assert ([r.member for r in plain.query(query)]
+                == [r.member for r in indexed.query(query)])
+
+    @given(st.lists(record_st, min_size=1, max_size=12),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_survives_updates_and_leaves(self, records, data):
+        plain = Collection(LOID(("d", "svc", "p")), require_auth=False)
+        indexed = IndexedCollection(LOID(("d", "svc", "i")),
+                                    require_auth=False)
+        for i, attrs in enumerate(records):
+            plain.join(loid(f"h{i}"), dict(attrs))
+            indexed.join(loid(f"h{i}"), dict(attrs))
+        # mutate a member in both, drop another from both
+        victim = data.draw(st.integers(0, len(records) - 1))
+        patch = data.draw(record_st)
+        plain.update_entry(loid(f"h{victim}"), dict(patch))
+        indexed.update_entry(loid(f"h{victim}"), dict(patch))
+        if len(records) > 1:
+            gone = data.draw(st.integers(0, len(records) - 1))
+            if gone != victim:
+                plain.leave(loid(f"h{gone}"))
+                indexed.leave(loid(f"h{gone}"))
+        query = data.draw(query_st)
+        assert ([r.member for r in plain.query(query)]
+                == [r.member for r in indexed.query(query)])
