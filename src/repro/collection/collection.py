@@ -36,6 +36,7 @@ from ..naming.loid import LOID
 from ..net.topology import NetLocation
 from ..objects.base import LegionObject
 from ..obs.registry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from ..obs.spans import NULL_SPANS
 from .query.ast import Node
 from .query.evaluate import QueryFunctions, matches
 from .query.parser import parse
@@ -107,6 +108,8 @@ class Collection(LegionObject):
         self.require_auth = require_auth
         self._clock = clock or (lambda: 0.0)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: span tracer (wired by the Metasystem; inert by default)
+        self.spans = NULL_SPANS
         self._records: Dict[LOID, CollectionRecord] = {}
         self._secret = os.urandom(16)
         self.functions = QueryFunctions()
@@ -186,11 +189,14 @@ class Collection(LegionObject):
             self._ast_cache[query] = ast
         self.queries_served += 1
         out: List[CollectionRecord] = []
-        for member in sorted(self._records):
-            record = self._records[member]
-            view = _RecordView(record, self._computed)
-            if matches(ast, view, self.functions):
-                out.append(record)
+        with self.spans.span_if_active("collection.serve", step="2",
+                                       path="scan") as sp:
+            for member in sorted(self._records):
+                record = self._records[member]
+                view = _RecordView(record, self._computed)
+                if matches(ast, view, self.functions):
+                    out.append(record)
+            sp.set_attribute("results", len(out))
         self._record_query_metrics("scan", len(self._records), len(out))
         return out
 

@@ -174,12 +174,15 @@ class IndexedCollection(Collection):
         from .collection import _RecordView
         from .query.evaluate import matches
         out: List[CollectionRecord] = []
-        for member in candidates:
-            record = self._records.get(member)
-            if record is None:
-                continue
-            view = _RecordView(record, self._computed)
-            if matches(ast, view, self.functions):
-                out.append(record)
+        with self.spans.span_if_active("collection.serve", step="2",
+                                       path="index") as sp:
+            for member in candidates:
+                record = self._records.get(member)
+                if record is None:
+                    continue
+                view = _RecordView(record, self._computed)
+                if matches(ast, view, self.functions):
+                    out.append(record)
+            sp.set_attribute("results", len(out))
         self._record_query_metrics("index", len(candidates), len(out))
         return out

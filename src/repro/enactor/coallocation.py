@@ -82,7 +82,8 @@ class CoAllocator:
                             duration=duration, timeout=timeout,
                             requester_domain=self.requester_domain,
                             offered_price=self.offered_price),
-                label=f"make_reservation[{idx}]"))
+                label=f"make_reservation[{idx}]",
+                context=self.transport.spans.current_context()))
             call_slots.append(pos)
         self.requests_issued += len(calls)
 
@@ -124,7 +125,8 @@ class CoAllocator:
                 continue
             calls.append(Call(src=self.src, dst=host.location,
                               fn=host.cancel_reservation, args=(token,),
-                              label="cancel_reservation"))
+                              label="cancel_reservation",
+                              context=self.transport.spans.current_context()))
         if not calls:
             return 0
         self.transport.parallel_invoke(calls)

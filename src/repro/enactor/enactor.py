@@ -48,6 +48,7 @@ from ..naming.loid import LOID
 from ..net.topology import NetLocation
 from ..net.transport import Call, Transport
 from ..obs.registry import MetricsRegistry
+from ..obs.spans import SpanTracer
 from ..objects.class_object import ClassObject, CreateResult, Placement
 from ..schedule.mapping import ScheduleMapping
 from ..schedule.schedule import (
@@ -122,13 +123,15 @@ class Enactor:
                  naive_variant_handling: bool = False,
                  sequential_coallocation: bool = False,
                  max_variant_attempts: int = 32,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 spans: Optional[SpanTracer] = None):
         self.transport = transport
         self.resolver = resolver
         self.location = location
         self.tracer = tracer if tracer is not None else transport.tracer
         self.metrics = (metrics if metrics is not None
                         else MetricsRegistry(lambda: transport.sim.now))
+        self.spans = spans if spans is not None else transport.spans
         self.coallocator = CoAllocator(
             transport, resolver, src=location,
             requester_domain=requester_domain,
@@ -155,20 +158,32 @@ class Enactor:
         self._cancelled_targets = set()
         last_errors: Dict[int, str] = {}
         last_detail = ""
-        with self.metrics.time("enactor_step_seconds", step="negotiate"):
-            for m_idx, master in enumerate(request.masters):
-                self.stats.master_attempts += 1
-                self.metrics.count("enactor_master_attempts_total")
-                feedback = self._try_master(request, m_idx, master, rtype,
-                                            duration, start_time, timeout)
-                if feedback.ok:
-                    self.tracer.emit("enactor", "reserved",
-                                     master=m_idx,
-                                     variant=(feedback.variant.label
-                                              if feedback.variant else None))
-                    return feedback
-                last_errors = feedback.entry_errors or last_errors
-                last_detail = feedback.failure_detail or last_detail
+        with self.spans.span_if_active("enactor.negotiate", step="4-6",
+                                       masters=len(request.masters)
+                                       ) as neg_span:
+            with self.metrics.time("enactor_step_seconds", step="negotiate"):
+                for m_idx, master in enumerate(request.masters):
+                    self.stats.master_attempts += 1
+                    self.metrics.count("enactor_master_attempts_total")
+                    with self.spans.span_if_active(
+                            "enactor.master", step="4",
+                            master=m_idx) as m_span:
+                        feedback = self._try_master(request, m_idx, master,
+                                                    rtype, duration,
+                                                    start_time, timeout)
+                        m_span.set_attribute("ok", feedback.ok)
+                        if not feedback.ok:
+                            m_span.set_status("error")
+                    if feedback.ok:
+                        neg_span.set_attribute("master", m_idx)
+                        self.tracer.emit(
+                            "enactor", "reserved", master=m_idx,
+                            variant=(feedback.variant.label
+                                     if feedback.variant else None))
+                        return feedback
+                    last_errors = feedback.entry_errors or last_errors
+                    last_detail = feedback.failure_detail or last_detail
+            neg_span.set_status("error")
         detail = "all master and variant schedules failed"
         if last_detail:
             detail += f" (last: {last_detail})"
@@ -182,10 +197,12 @@ class Enactor:
                  rtype: ReservationType, duration: float,
                  start_time: float, timeout: float
                  ) -> List[ReservationOutcome]:
-        with self.metrics.time("enactor_step_seconds", step="reserve"):
-            outcomes = self.coallocator.reserve_batch(
-                indexed, rtype=rtype, duration=duration,
-                start_time=start_time, timeout=timeout)
+        with self.spans.span_if_active("enactor.reserve", step="5",
+                                       entries=len(indexed)):
+            with self.metrics.time("enactor_step_seconds", step="reserve"):
+                outcomes = self.coallocator.reserve_batch(
+                    indexed, rtype=rtype, duration=duration,
+                    start_time=start_time, timeout=timeout)
         self.stats.reservation_requests += len(indexed)
         self.metrics.count("enactor_reservation_requests_total",
                            len(indexed))
@@ -207,8 +224,10 @@ class Enactor:
         for mapping, _tok in pairs:
             self._cancelled_targets.add(
                 (mapping.host_loid, mapping.vault_loid, mapping.class_loid))
-        with self.metrics.time("enactor_step_seconds", step="cancel"):
-            cancelled = self.coallocator.cancel_batch(pairs)
+        with self.spans.span_if_active("enactor.cancel",
+                                       entries=len(pairs)):
+            with self.metrics.time("enactor_step_seconds", step="cancel"):
+                cancelled = self.coallocator.cancel_batch(pairs)
         self.stats.cancellations += cancelled
         self.metrics.count("enactor_cancellations_total", cancelled)
 
@@ -263,34 +282,41 @@ class Enactor:
             self.metrics.count("enactor_variant_attempts_total")
             new_entries = master.resolve(variant)
 
-            if self.naive_variant_handling:
-                # ablation: cancel everything and re-reserve the variant
-                self._cancel_holdings(holdings)
-                holdings = {}
-                to_reserve = list(enumerate(new_entries))
-            else:
-                to_reserve = []
-                for idx, replacement in variant.replacements.items():
-                    held = holdings.get(idx)
-                    if held is not None:
-                        if held.mapping.same_target(replacement):
-                            continue  # anti-thrashing: keep the reservation
-                        self._cancel_holdings({idx: held})
-                        del holdings[idx]
-                    to_reserve.append((idx, replacement))
-                # failed entries not replaced cannot exist (covers() holds)
-
-            outcomes = self._reserve(to_reserve, rtype, duration,
-                                     start_time, timeout)
-            for o in outcomes:
-                if o.ok:
-                    holdings[o.index] = _Holding(o.mapping, o.token)
-                    errors.pop(o.index, None)
+            with self.spans.span_if_active("enactor.variant", step="6",
+                                           label=variant.label) as v_span:
+                if self.naive_variant_handling:
+                    # ablation: cancel everything and re-reserve the variant
+                    self._cancel_holdings(holdings)
+                    holdings = {}
+                    to_reserve = list(enumerate(new_entries))
                 else:
-                    errors[o.index] = o.error
-            current_entries = new_entries
-            failed = sorted(set(range(len(current_entries)))
-                            - set(holdings))
+                    to_reserve = []
+                    for idx, replacement in variant.replacements.items():
+                        held = holdings.get(idx)
+                        if held is not None:
+                            if held.mapping.same_target(replacement):
+                                # anti-thrashing: keep the reservation
+                                continue
+                            self._cancel_holdings({idx: held})
+                            del holdings[idx]
+                        to_reserve.append((idx, replacement))
+                    # failed entries not replaced cannot exist (covers()
+                    # holds)
+
+                outcomes = self._reserve(to_reserve, rtype, duration,
+                                         start_time, timeout)
+                for o in outcomes:
+                    if o.ok:
+                        holdings[o.index] = _Holding(o.mapping, o.token)
+                        errors.pop(o.index, None)
+                    else:
+                        errors[o.index] = o.error
+                current_entries = new_entries
+                failed = sorted(set(range(len(current_entries)))
+                                - set(holdings))
+                v_span.set_attribute("ok", not failed)
+                if failed:
+                    v_span.set_status("error")
             if not failed:
                 return self._success(request, m_idx, variant, holdings)
 
@@ -347,8 +373,14 @@ class Enactor:
         if handle.enacted:
             raise EnactmentError("this reservation set was already enacted")
         result = EnactResult(ok=True)
-        with self.metrics.time("enactor_step_seconds", step="enact"):
-            self._enact_entries(handle, result)
+        with self.spans.span_if_active("enactor.enact", step="7-11",
+                                       entries=len(handle.entries)
+                                       ) as e_span:
+            with self.metrics.time("enactor_step_seconds", step="enact"):
+                self._enact_entries(handle, result)
+            e_span.set_attribute("ok", result.ok)
+            if not result.ok:
+                e_span.set_status("error")
         handle.enacted = True
         if result.ok:
             self.stats.enactments += 1

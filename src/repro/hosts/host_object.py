@@ -37,6 +37,7 @@ from ..errors import (
 from ..naming.loid import LOID
 from ..objects.base import LegionObject
 from ..obs.registry import MetricsRegistry
+from ..obs.spans import NULL_SPANS
 from ..sim.kernel import Simulator
 from .machine import SimJob, SimMachine
 from .policy import AcceptAll, PlacementPolicy, PlacementRequest
@@ -87,6 +88,8 @@ class HostObject(LegionObject):
         # time (instruments are looked up per call, so rebinding is safe)
         self.metrics = (metrics if metrics is not None
                         else MetricsRegistry(lambda: sim.now))
+        #: span tracer (wired by the Metasystem; inert by default)
+        self.spans = NULL_SPANS
         self.policy = policy or AcceptAll()
         self.slots = slots or max(2 * machine.spec.cpus, 2)
         self.price = price_per_cpu_second
@@ -139,19 +142,22 @@ class HostObject(LegionObject):
         admission logic itself lives in :meth:`_grant_reservation`, which
         subclasses override.
         """
-        try:
-            token = self._grant_reservation(
-                vault_loid, class_loid, rtype=rtype, start_time=start_time,
-                duration=duration, timeout=timeout,
-                requester_domain=requester_domain,
-                offered_price=offered_price, now=now)
-        except Exception as exc:
-            self.metrics.count("host_reservations_rejected_total",
-                               reason=type(exc).__name__)
-            raise
-        self.metrics.count("host_reservations_granted_total",
-                           rtype=str(token.rtype))
-        return token
+        with self.spans.span_if_active("host.reserve", step="5",
+                                       host=str(self.loid),
+                                       vault=str(vault_loid)):
+            try:
+                token = self._grant_reservation(
+                    vault_loid, class_loid, rtype=rtype,
+                    start_time=start_time, duration=duration,
+                    timeout=timeout, requester_domain=requester_domain,
+                    offered_price=offered_price, now=now)
+            except Exception as exc:
+                self.metrics.count("host_reservations_rejected_total",
+                                   reason=type(exc).__name__)
+                raise
+            self.metrics.count("host_reservations_granted_total",
+                               rtype=str(token.rtype))
+            return token
 
     def _grant_reservation(self, vault_loid: LOID, class_loid: LOID,
                            rtype: ReservationType = REUSABLE_TIME,
@@ -256,19 +262,26 @@ class HostObject(LegionObject):
         the Class reports these codes back to the Enactor (steps 10-11).
         """
         now = self.sim.now if now is None else now
-        try:
-            self._admit(instance, vault_loid, reservation_token, now)
-            placed = self._execute(instance, vault_loid, now)
-        except Exception as exc:
-            self.start_failures += 1
-            self.metrics.count("host_starts_total", ok="false")
-            return StartResult(False, reason=f"{type(exc).__name__}: {exc}")
-        self.placed[instance.loid] = placed
-        instance.host_loid = self.loid
-        instance.vault_loid = vault_loid
-        self.starts += 1
-        self.metrics.count("host_starts_total", ok="true")
-        return StartResult(True, loids=[instance.loid])
+        with self.spans.span_if_active("host.start", step="10",
+                                       host=str(self.loid)) as sp:
+            try:
+                self._admit(instance, vault_loid, reservation_token, now)
+                placed = self._execute(instance, vault_loid, now)
+            except Exception as exc:
+                self.start_failures += 1
+                self.metrics.count("host_starts_total", ok="false")
+                sp.set_attribute("ok", False)
+                sp.set_attribute("error", f"{type(exc).__name__}: {exc}")
+                sp.set_status("error")
+                return StartResult(False,
+                                   reason=f"{type(exc).__name__}: {exc}")
+            self.placed[instance.loid] = placed
+            instance.host_loid = self.loid
+            instance.vault_loid = vault_loid
+            self.starts += 1
+            self.metrics.count("host_starts_total", ok="true")
+            sp.set_attribute("ok", True)
+            return StartResult(True, loids=[instance.loid])
 
     def start_objects(self, instances: List[LegionObject], vault_loid: LOID,
                       reservation_token: Optional[ReservationToken] = None,

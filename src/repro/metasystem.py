@@ -45,6 +45,7 @@ from .net.topology import AdministrativeDomain, NetLocation, Topology
 from .net.transport import Transport
 from .objects.base import LegionObject
 from .obs.registry import MetricsRegistry
+from .obs.spans import NullSpanTracer, SpanTracer
 from .objects.class_object import ClassObject, Implementation, Placement
 from .queues.backfill import BackfillQueue
 from .queues.base import QueueSystem
@@ -61,7 +62,7 @@ from .scheduler.round_robin import RoundRobinScheduler
 from .scheduler.stencil import StencilScheduler
 from .sim.kernel import Simulator
 from .sim.rng import RngRegistry
-from .sim.tracing import Tracer
+from .sim.tracing import NullTracer, Tracer
 from .vaults.vault_object import VaultObject
 
 __all__ = ["Metasystem"]
@@ -88,11 +89,23 @@ class Metasystem:
                  reassess_interval: float = 30.0,
                  require_collection_auth: bool = True,
                  domain: str = "legion",
-                 trace_max_records: Optional[int] = None):
+                 trace_max_records: Optional[int] = None,
+                 tracing: str = "spans"):
+        if tracing not in ("off", "flat", "spans"):
+            raise ValueError(
+                f"tracing must be 'off', 'flat' or 'spans', got {tracing!r}")
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
-        self.tracer = Tracer(lambda: self.sim.now,
-                             max_records=trace_max_records)
+        self.tracing = tracing
+        if tracing == "off":
+            self.tracer: Tracer = NullTracer()
+        else:
+            self.tracer = Tracer(lambda: self.sim.now,
+                                 max_records=trace_max_records)
+        if tracing == "spans":
+            self.spans: SpanTracer = SpanTracer(lambda: self.sim.now)
+        else:
+            self.spans = NullSpanTracer()
         self.metrics = MetricsRegistry(clock=lambda: self.sim.now)
         self.metrics.gauge_fn("sim_events_processed",
                               lambda: self.sim.events_processed,
@@ -103,6 +116,15 @@ class Metasystem:
         self.metrics.gauge_fn("tracer_records",
                               lambda: len(self.tracer),
                               help="trace records currently retained")
+        self.metrics.gauge_fn("span_records",
+                              lambda: len(self.spans),
+                              help="spans currently retained")
+        if tracing == "spans":
+            # flat records become span events; outlier histogram buckets
+            # remember which trace produced them (exemplars)
+            self.tracer.span_sink = self.spans
+            self.metrics.set_exemplar_provider(
+                lambda: self.spans.current_trace_id)
         self.topology = Topology()
         self.latency_model = latency_model or MetasystemLatencyModel(
             self.topology)
@@ -110,7 +132,8 @@ class Metasystem:
                                    self.latency_model, self.rngs,
                                    tracer=self.tracer,
                                    loss_probability=loss_probability,
-                                   metrics=self.metrics)
+                                   metrics=self.metrics,
+                                   spans=self.spans)
         self.minter = LOIDMinter(domain)
         self.context = ContextSpace()
         self.reassess_interval = reassess_interval
@@ -125,6 +148,7 @@ class Metasystem:
             self.minter.mint("svc", "collection"),
             location=None, require_auth=require_collection_auth,
             clock=lambda: self.sim.now, metrics=self.metrics)
+        self.collection.spans = self.spans
         self._register(self.collection)
         self.context.bind("/etc/Collection", self.collection.loid)
         self._host_credentials: Dict[LOID, Credential] = {}
@@ -182,6 +206,7 @@ class Metasystem:
     # ------------------------------------------------------------------
     def _wire_host(self, host: HostObject, push_to_collection: bool) -> None:
         host.metrics = self.metrics
+        host.spans = self.spans
         self._register(host)
         self.hosts.append(host)
         self.context.bind(f"/hosts/{host.machine.name}", host.loid)
@@ -274,6 +299,7 @@ class Metasystem:
                             capacity_bytes=capacity_bytes,
                             cost_per_byte=cost_per_byte,
                             allowed_domains=allowed_domains)
+        vault.spans = self.spans
         self._register(vault)
         self.vaults.append(vault)
         self.context.bind(f"/vaults/{name}", vault.loid)

@@ -51,7 +51,23 @@ class Migrator:
     def migrate(self, instance_loid: LOID, to_host_loid: LOID,
                 to_vault_loid: Optional[LOID] = None,
                 reservation_duration: float = 3600.0) -> MigrationReport:
-        """Move one active object to another host (and optionally vault)."""
+        """Move one active object to another host (and optionally vault).
+
+        Each migration is the root of its own trace (steps 12-13 of the
+        placement protocol run as their own request)."""
+        with self.transport.spans.span(
+                "migration", step="12-13", instance=str(instance_loid),
+                to_host=str(to_host_loid)) as root:
+            report = self._migrate(instance_loid, to_host_loid,
+                                   to_vault_loid, reservation_duration)
+            root.set_attribute("ok", report.ok)
+            if not report.ok:
+                root.set_status("error")
+            return report
+
+    def _migrate(self, instance_loid: LOID, to_host_loid: LOID,
+                 to_vault_loid: Optional[LOID],
+                 reservation_duration: float) -> MigrationReport:
         sim = self.transport.sim
         start = sim.now
         report = MigrationReport(ok=False, instance=instance_loid,

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import HostUnreachableError, MessageLostError
 from ..obs.registry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from ..obs.spans import SpanTracer, TraceContext
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
 from ..sim.tracing import Tracer
@@ -44,6 +45,8 @@ class Call:
     args: Tuple[Any, ...] = ()
     kwargs: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
+    #: carried trace context — callee-side spans parent under the sender
+    context: Optional[TraceContext] = None
 
 
 @dataclass
@@ -63,7 +66,8 @@ class Transport:
                  latency_model: LatencyModel, rngs: RngRegistry,
                  tracer: Optional[Tracer] = None,
                  loss_probability: float = 0.0,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 spans: Optional[SpanTracer] = None):
         if not 0.0 <= loss_probability <= 1.0:
             raise ValueError("loss_probability must be in [0, 1]")
         self.sim = sim
@@ -75,6 +79,8 @@ class Transport:
             lambda: sim.now)
         self.metrics = (metrics if metrics is not None
                         else MetricsRegistry(lambda: sim.now))
+        self.spans = spans if spans is not None else SpanTracer(
+            lambda: sim.now)
         self.loss_probability = loss_probability
         self.messages_sent = 0
         self.messages_lost = 0
@@ -122,13 +128,15 @@ class Transport:
         """Synchronous remote call: request hop, execute, reply hop."""
         t0 = self.sim.now
         name = label or getattr(fn, "__name__", "call")
-        self._one_way(src, dst, name)
-        try:
-            result = fn(*args, **kwargs)
-        except Exception:
-            self._reply_hop(src, dst, "error-reply")
-            raise
-        self._reply_hop(src, dst, "reply")
+        with self.spans.span_if_active(f"rpc:{name}", src=str(src),
+                                       dst=str(dst)):
+            self._one_way(src, dst, name)
+            try:
+                result = fn(*args, **kwargs)
+            except Exception:
+                self._reply_hop(src, dst, "error-reply")
+                raise
+            self._reply_hop(src, dst, "reply")
         self.tracer.emit("net", "invoke",
                          src=str(src), dst=str(dst), label=name,
                          rtt=self.sim.now - t0)
@@ -146,9 +154,11 @@ class Transport:
                                        f"({label})")
         elapsed = self.latency_model.transfer_time(self.rng, nbytes, src,
                                                    dst)
-        self._count_message()
-        self.metrics.count("transport_transfer_bytes_total", nbytes)
-        self.sim.run_until(self.sim.now + elapsed)
+        with self.spans.span_if_active(f"transfer:{label}", src=str(src),
+                                       dst=str(dst), nbytes=nbytes):
+            self._count_message()
+            self.metrics.count("transport_transfer_bytes_total", nbytes)
+            self.sim.run_until(self.sim.now + elapsed)
         self.tracer.emit("net", "transfer", src=str(src), dst=str(dst),
                          nbytes=nbytes, elapsed=elapsed)
         return elapsed
@@ -166,14 +176,31 @@ class Transport:
         if not calls:
             return outcomes
 
+        # The caller's context backs any call that carries none of its own.
+        caller_ctx = self.spans.current_context()
+
+        def _call_name(call: Call) -> str:
+            return call.label or getattr(call.fn, "__name__", "call")
+
+        def _failed_span(call: Call, error: Exception) -> None:
+            """A zero-length error span for a call that never executed."""
+            with self.spans.activate(call.context or caller_ctx):
+                with self.spans.span_if_active(
+                        f"rpc:{_call_name(call)}", src=str(call.src),
+                        dst=str(call.dst)) as sp:
+                    sp.set_status("error")
+                    sp.set_attribute(
+                        "error", f"{type(error).__name__}: {error}")
+
         # Sample all request latencies up front, execute in arrival order.
         arrivals: List[Tuple[float, int]] = []
         for i, call in enumerate(calls):
             if not self.topology.reachable(call.src, call.dst):
-                outcomes[i] = CallOutcome(
-                    False,
-                    error=HostUnreachableError(f"{call.src} -> {call.dst}"),
-                    completed_at=start)
+                err: Exception = HostUnreachableError(
+                    f"{call.src} -> {call.dst}")
+                outcomes[i] = CallOutcome(False, error=err,
+                                          completed_at=start)
+                _failed_span(call, err)
                 continue
             lost = (self.loss_probability > 0.0
                     and self._loss_rng.random() < self.loss_probability)
@@ -181,9 +208,10 @@ class Transport:
             if lost:
                 lat = self.latency_model.sample_latency(
                     self.rng, call.src, call.dst)
-                outcomes[i] = CallOutcome(
-                    False, error=MessageLostError(str(call.dst)),
-                    completed_at=start + 4.0 * lat)
+                err = MessageLostError(str(call.dst))
+                outcomes[i] = CallOutcome(False, error=err,
+                                          completed_at=start + 4.0 * lat)
+                _failed_span(call, err)
                 continue
             lat = self.latency_model.sample_latency(
                 self.rng, call.src, call.dst)
@@ -193,17 +221,28 @@ class Transport:
         for arrive_at, i in sorted(arrivals):
             call = calls[i]
             self.sim.run_until(arrive_at)
-            try:
-                value = call.fn(*call.args, **call.kwargs)
-                ok, err = True, None
-            except Exception as exc:
-                ok, err, value = False, exc, None
+            with self.spans.activate(call.context or caller_ctx):
+                with self.spans.span_if_active(
+                        f"rpc:{_call_name(call)}", src=str(call.src),
+                        dst=str(call.dst)) as sp:
+                    try:
+                        value = call.fn(*call.args, **call.kwargs)
+                        ok, err2 = True, None
+                    except Exception as exc:
+                        ok, err2, value = False, exc, None
+                        sp.set_status("error")
+                        sp.set_attribute(
+                            "error", f"{type(exc).__name__}: {exc}")
             reply_lat = self.latency_model.sample_latency(
                 self.rng, call.dst, call.src) if call.src is not None else \
                 self.latency_model.sample_latency(self.rng, None, call.dst)
             self._count_message()
             done = self.sim.now + reply_lat
-            outcomes[i] = CallOutcome(ok, value=value, error=err,
+            if sp.end is not None:
+                # stretch the rpc span over the full request->reply window
+                # (the call executed mid-batch; its cost is the round trip)
+                sp.start, sp.end = start, done
+            outcomes[i] = CallOutcome(ok, value=value, error=err2,
                                       completed_at=done)
             completion = max(completion, done)
 

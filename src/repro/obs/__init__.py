@@ -2,9 +2,12 @@
 
 A :class:`MetricsRegistry` of Counter/Gauge/Histogram instruments with
 labeled children, virtual-clock :class:`Timer` spans, deterministic
-snapshots, and JSON/prometheus exporters.  Every Metasystem owns one
-(``meta.metrics``, alongside ``meta.tracer``); the metric name catalogue
-is documented in ``docs/observability.md``.
+snapshots, and JSON/prometheus exporters, plus causal span tracing: a
+:class:`SpanTracer` of per-request :class:`Span` trees over the placement
+protocol, with critical-path analysis and Chrome-trace export in
+:mod:`repro.obs.trace_export`.  Every Metasystem owns one of each
+(``meta.metrics``, ``meta.spans``, alongside ``meta.tracer``); the metric
+and span catalogues are documented in ``docs/observability.md``.
 """
 
 from .export import (
@@ -25,6 +28,24 @@ from .registry import (
     NullMetricsRegistry,
     Timer,
 )
+from .spans import (
+    NULL_SPANS,
+    NullSpanTracer,
+    Span,
+    SpanTracer,
+    TraceContext,
+)
+from .trace_export import (
+    chrome_trace,
+    chrome_trace_json,
+    critical_path,
+    render_critical_path_report,
+    render_step_table,
+    render_tree,
+    spans_to_jsonl,
+    trace_summary,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -41,4 +62,18 @@ __all__ = [
     "json_to_snapshot",
     "snapshot_to_prometheus",
     "render_report",
+    "Span",
+    "SpanTracer",
+    "NullSpanTracer",
+    "NULL_SPANS",
+    "TraceContext",
+    "chrome_trace",
+    "chrome_trace_json",
+    "critical_path",
+    "render_critical_path_report",
+    "render_step_table",
+    "render_tree",
+    "spans_to_jsonl",
+    "trace_summary",
+    "validate_chrome_trace",
 ]

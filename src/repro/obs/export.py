@@ -60,6 +60,11 @@ def build_snapshot(registry) -> Dict[str, Any]:
                     "max": _finite(leaf.stats.maximum),
                     "mean": _finite(leaf.stats.mean),
                     "buckets": [[b, c] for b, c in zip(bounds, cumulative)],
+                    "exemplars": [
+                        [bounds[idx], _finite(value) or 0.0, trace_id]
+                        for idx, (value, trace_id)
+                        in sorted(leaf.exemplars.items())
+                    ],
                 })
             else:
                 entry["value"] = _finite(leaf.value) or 0.0
@@ -152,12 +157,21 @@ def _fmt(x: Optional[float]) -> str:
     return f"{x:.6g}"
 
 
+def _max_exemplar(series: Dict[str, Any]) -> str:
+    """Trace id of the largest exemplared observation in a series."""
+    exemplars = series.get("exemplars") or []
+    if not exemplars:
+        return "-"
+    return max(exemplars, key=lambda e: e[1])[2]
+
+
 def render_report(snapshot: Dict[str, Any], title: str = "metrics") -> str:
     """Human-readable report: one line per series, quantiles for
-    histograms."""
+    histograms, and the trace exemplar nearest the max observation."""
     lines = [f"== {title} ==",
              f"{'metric':44s} {'value/count':>12s} "
-             f"{'mean':>10s} {'p50':>10s} {'p90':>10s} {'max':>10s}"]
+             f"{'mean':>10s} {'p50':>10s} {'p90':>10s} {'max':>10s} "
+             f"{'trace':>10s}"]
     for metric in snapshot["metrics"]:
         for series in metric["series"]:
             label = metric["name"] + _label_str(series["labels"])
@@ -167,9 +181,11 @@ def render_report(snapshot: Dict[str, Any], title: str = "metrics") -> str:
                     f"{_fmt(series['mean']):>10s} "
                     f"{_fmt(_series_quantile(series, 0.5)):>10s} "
                     f"{_fmt(_series_quantile(series, 0.9)):>10s} "
-                    f"{_fmt(series['max']):>10s}")
+                    f"{_fmt(series['max']):>10s} "
+                    f"{_max_exemplar(series):>10s}")
             else:
                 lines.append(
                     f"{label:44s} {_fmt(series['value']):>12s} "
-                    f"{'-':>10s} {'-':>10s} {'-':>10s} {'-':>10s}")
+                    f"{'-':>10s} {'-':>10s} {'-':>10s} {'-':>10s} "
+                    f"{'-':>10s}")
     return "\n".join(lines)

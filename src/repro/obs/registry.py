@@ -25,7 +25,12 @@ Design points:
 * **quantiles** — :class:`Histogram` keeps cumulative bucket counts plus
   a :class:`~repro.sim.stats.RunningStats` accumulator, giving exact
   count/sum/min/max/mean and interpolated percentiles without storing
-  samples.
+  samples;
+* **exemplars** — a histogram remembers, per bucket, the trace ID of the
+  max-latency observation that landed there (when an
+  ``exemplar_provider`` is wired — the Metasystem connects it to the
+  span tracer), so an outlier percentile links straight to the causal
+  timeline that produced it.
 """
 
 from __future__ import annotations
@@ -214,14 +219,23 @@ class Histogram(_Instrument):
         self.bounds = bounds
         self._counts = [0] * (len(bounds) + 1)   # last slot = +Inf
         self.stats = RunningStats()
+        #: bucket index -> (value, trace_id) of that bucket's max-latency
+        #: observation seen so far (the exemplar window is cleared by
+        #: ``reset``, i.e. per snapshot window when the caller resets)
+        self.exemplars: Dict[int, Tuple[float, str]] = {}
 
     def _make_child(self) -> "Histogram":
         return Histogram(self.name, self.help, buckets=self.bounds)
 
-    def observe(self, x: float) -> None:
+    def observe(self, x: float, exemplar: Optional[str] = None) -> None:
         x = float(x)
-        self._counts[bisect.bisect_left(self.bounds, x)] += 1
+        idx = bisect.bisect_left(self.bounds, x)
+        self._counts[idx] += 1
         self.stats.add(x)
+        if exemplar is not None:
+            current = self.exemplars.get(idx)
+            if current is None or x >= current[0]:
+                self.exemplars[idx] = (x, exemplar)
 
     @property
     def count(self) -> int:
@@ -263,6 +277,7 @@ class Histogram(_Instrument):
     def _reset_leaf(self) -> None:
         self._counts = [0] * (len(self.bounds) + 1)
         self.stats = RunningStats()
+        self.exemplars = {}
 
     def _merge_leaf(self, other: "_Instrument") -> None:
         assert isinstance(other, Histogram)
@@ -271,14 +286,25 @@ class Histogram(_Instrument):
                 f"metric {self.name!r}: bucket bounds differ")
         self._counts = [a + b for a, b in zip(self._counts, other._counts)]
         self.stats = self.stats.merge(other.stats)
+        for idx, (value, trace_id) in other.exemplars.items():
+            mine = self.exemplars.get(idx)
+            if mine is None or value >= mine[0]:
+                self.exemplars[idx] = (value, trace_id)
 
 
 class Timer:
-    """Context manager recording a clock span into a histogram series."""
+    """Context manager recording a clock span into a histogram series.
 
-    def __init__(self, histogram: Histogram, clock: Callable[[], float]):
+    ``exemplar_fn`` (usually the span tracer's current-trace-ID hook)
+    is evaluated at exit so the observation carries the trace it
+    belongs to.
+    """
+
+    def __init__(self, histogram: Histogram, clock: Callable[[], float],
+                 exemplar_fn: Optional[Callable[[], Optional[str]]] = None):
         self.histogram = histogram
         self._clock = clock
+        self._exemplar_fn = exemplar_fn
         self._t0 = 0.0
 
     def __enter__(self) -> "Timer":
@@ -286,7 +312,9 @@ class Timer:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.histogram.observe(self._clock() - self._t0)
+        exemplar = self._exemplar_fn() if self._exemplar_fn else None
+        self.histogram.observe(self._clock() - self._t0,
+                               exemplar=exemplar)
 
 
 class _NullTimer:
@@ -313,9 +341,23 @@ class MetricsRegistry:
     def __init__(self, clock: Optional[Callable[[], float]] = None):
         self._clock = clock or (lambda: 0.0)
         self._metrics: Dict[str, _Instrument] = {}
+        self._exemplar_provider: Optional[
+            Callable[[], Optional[str]]] = None
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         self._clock = clock
+
+    def set_exemplar_provider(
+            self, fn: Optional[Callable[[], Optional[str]]]) -> None:
+        """Wire a current-trace-ID hook: every histogram observation made
+        while it returns a trace ID records that ID as the bucket's
+        exemplar (if it is the bucket's max so far)."""
+        self._exemplar_provider = fn
+
+    def _current_exemplar(self) -> Optional[str]:
+        if self._exemplar_provider is None:
+            return None
+        return self._exemplar_provider()
 
     @property
     def clock(self) -> Callable[[], float]:
@@ -369,7 +411,8 @@ class MetricsRegistry:
                 **labels: Any) -> None:
         histogram = self.histogram(name, help, labelnames=sorted(labels),
                                    buckets=buckets)
-        self._leaf(histogram, labels).observe(value)
+        self._leaf(histogram, labels).observe(
+            value, exemplar=self._current_exemplar())
 
     def set_gauge(self, name: str, value: float, help: str = "",
                   **labels: Any) -> None:
@@ -387,7 +430,8 @@ class MetricsRegistry:
              **labels: Any) -> Timer:
         histogram = self.histogram(name, help, labelnames=sorted(labels),
                                    buckets=buckets)
-        return Timer(self._leaf(histogram, labels), self._clock)
+        return Timer(self._leaf(histogram, labels), self._clock,
+                     exemplar_fn=self._exemplar_provider)
 
     # -- introspection ------------------------------------------------------
     def get(self, name: str) -> Optional[_Instrument]:
@@ -464,7 +508,7 @@ class _NullHistogram(Histogram):
     def labels(self, **labels: Any) -> "_NullHistogram":
         return self
 
-    def observe(self, x: float) -> None:
+    def observe(self, x: float, exemplar: Optional[str] = None) -> None:
         return
 
 

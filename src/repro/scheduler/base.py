@@ -31,6 +31,7 @@ from ..naming.loid import LOID
 from ..net.topology import NetLocation
 from ..net.transport import Transport
 from ..objects.class_object import ClassObject, Implementation
+from ..obs.spans import SpanTracer
 from ..schedule.schedule import ScheduleFeedback, ScheduleRequestList
 
 __all__ = [
@@ -115,15 +116,23 @@ class Scheduler:
         self.name = name or type(self).__name__
         self.collection_queries = 0
 
+    @property
+    def spans(self) -> SpanTracer:
+        return self.transport.spans
+
     # -- substrate access --------------------------------------------------
     def query_collection(self, query: str) -> List[CollectionRecord]:
         """Query the Collection through the transport (charged latency)."""
         self.collection_queries += 1
-        if self.collection.location is not None:
-            return self.transport.invoke(
-                self.location, self.collection.location,
-                self.collection.query, query, label="QueryCollection")
-        return self.collection.query(query)
+        with self.spans.span_if_active("collection.query", step="2") as sp:
+            if self.collection.location is not None:
+                results = self.transport.invoke(
+                    self.location, self.collection.location,
+                    self.collection.query, query, label="QueryCollection")
+            else:
+                results = self.collection.query(query)
+            sp.set_attribute("results", len(results))
+        return results
 
     def viable_hosts(self, class_obj: ClassObject,
                      extra_query: str = "") -> List[CollectionRecord]:
@@ -188,32 +197,43 @@ class Scheduler:
         start = self.transport.sim.now
         queries_before = self.collection_queries
         outcome = SchedulingOutcome(ok=False)
-        for s_try in range(self.sched_try_limit):
-            outcome.schedule_tries = s_try + 1
-            try:
-                request_list = self.compute_schedule(requests)
-            except SchedulingError as exc:
-                outcome.detail = f"schedule computation failed: {exc}"
-                continue
-            for _e_try in range(self.enact_try_limit):
-                outcome.enact_tries += 1
-                feedback = self.enactor.make_reservations(
-                    request_list, duration=reservation_duration)
-                outcome.feedback = feedback
-                if not feedback.ok:
-                    outcome.detail = feedback.failure_detail
+        # the root of one placement trace: every protocol step below
+        # (query, compute, negotiate, reserve, enact) parents under it
+        with self.spans.span(
+                "placement", scheduler=self.name,
+                count=sum(r.count for r in requests)) as root:
+            for s_try in range(self.sched_try_limit):
+                outcome.schedule_tries = s_try + 1
+                try:
+                    with self.spans.span_if_active("scheduler.compute",
+                                                   step="2-3",
+                                                   attempt=s_try):
+                        request_list = self.compute_schedule(requests)
+                except SchedulingError as exc:
+                    outcome.detail = f"schedule computation failed: {exc}"
                     continue
-                result = self.enactor.enact_schedule(
-                    feedback, rollback_on_failure=rollback_on_failure)
-                outcome.enact_result = result
-                if result.ok:
-                    outcome.ok = True
-                    outcome.created = result.created
-                    outcome.collection_queries = (self.collection_queries
-                                                  - queries_before)
-                    outcome.elapsed = self.transport.sim.now - start
-                    return outcome
-                outcome.detail = result.detail
+                for _e_try in range(self.enact_try_limit):
+                    outcome.enact_tries += 1
+                    feedback = self.enactor.make_reservations(
+                        request_list, duration=reservation_duration)
+                    outcome.feedback = feedback
+                    if not feedback.ok:
+                        outcome.detail = feedback.failure_detail
+                        continue
+                    result = self.enactor.enact_schedule(
+                        feedback, rollback_on_failure=rollback_on_failure)
+                    outcome.enact_result = result
+                    if result.ok:
+                        outcome.ok = True
+                        outcome.created = result.created
+                        outcome.collection_queries = (
+                            self.collection_queries - queries_before)
+                        outcome.elapsed = self.transport.sim.now - start
+                        root.set_attribute("ok", True)
+                        return outcome
+                    outcome.detail = result.detail
+            root.set_attribute("ok", False)
+            root.set_status("error")
         outcome.collection_queries = self.collection_queries - queries_before
         outcome.elapsed = self.transport.sim.now - start
         return outcome

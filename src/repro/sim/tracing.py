@@ -49,6 +49,10 @@ class Tracer:
         self.enabled_categories = enabled_categories  # None = everything
         self._counts: Dict[str, int] = {}
         self.total_records = 0
+        #: span bridge: a :class:`~repro.obs.spans.SpanTracer` (set by the
+        #: Metasystem) receiving every emitted record as a span event on
+        #: the currently open span, giving flat traces causal context
+        self.span_sink: Optional[Any] = None
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the virtual clock after construction."""
@@ -64,6 +68,8 @@ class Tracer:
         self.total_records += 1
         key = f"{category}/{event}"
         self._counts[key] = self._counts.get(key, 0) + 1
+        if self.span_sink is not None:
+            self.span_sink.event(category, event, **details)
 
     def count(self, category: str, event: Optional[str] = None) -> int:
         """Number of records matching category (and optionally event)."""

@@ -9,8 +9,11 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim context --domains 2 --hosts 4
    $ legion-sim query '$host_load < 1 and $host_arch == "sparc"'
    $ legion-sim run --count 6 --scheduler irs --work 200
+   $ legion-sim run --count 4 --trace-out trace.json
    $ legion-sim bench --scheduler random --scheduler load --count 8
    $ legion-sim metrics --count 4 --format table
+   $ legion-sim trace critical-path --count 4
+   $ legion-sim trace chrome --count 4 --out trace.json
 
 ``repro-cli`` is an alias of the same entry point.
 
@@ -132,7 +135,63 @@ def cmd_run(args: argparse.Namespace, out) -> int:
         from ..bench.sequence import protocol_trace
         print(file=out)
         print(protocol_trace(meta.tracer, limit=args.trace), file=out)
+    if args.trace_out:
+        from ..obs.trace_export import chrome_trace_json, spans_to_jsonl
+        if args.trace_out.endswith(".jsonl"):
+            text = spans_to_jsonl(meta.spans.spans)
+        else:
+            text = chrome_trace_json(meta.spans.spans, indent=2)
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {len(meta.spans.spans)} span(s) covering "
+              f"{len(meta.spans.traces())} trace(s) to {args.trace_out}",
+              file=out)
     return 0
+
+
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    """Run a seeded workload and analyse/export its span traces."""
+    from ..obs.trace_export import (
+        chrome_trace_json,
+        render_critical_path_report,
+        render_step_table,
+        render_tree,
+        spans_to_jsonl,
+    )
+    meta = _build_meta(args)
+    app = meta.create_class("cli-app",
+                            implementations_for_all_platforms(),
+                            work_units=args.work)
+    try:
+        scheduler = meta.make_scheduler(args.scheduler)
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+    outcome = scheduler.run([ObjectClassRequest(app, count=args.count)])
+    if outcome.ok and args.wait:
+        wait_for_completion(meta, app, outcome.created)
+    spans = meta.spans.spans
+    if args.mode == "tree":
+        text = render_tree(spans)
+    elif args.mode == "summary":
+        text = render_step_table(
+            spans,
+            title=f"span latency: {args.count} x {args.work:.0f}-unit "
+                  f"tasks via {args.scheduler} (seed {args.seed})")
+    elif args.mode == "critical-path":
+        text = render_critical_path_report(spans)
+    else:  # chrome
+        text = chrome_trace_json(spans, indent=2)
+    if args.out:
+        if args.out.endswith(".jsonl") and args.mode == "chrome":
+            text = spans_to_jsonl(spans)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.mode} output for {len(meta.spans.traces())} "
+              f"trace(s) to {args.out}", file=out)
+    else:
+        print(text, file=out)
+    return 0 if outcome.ok else 1
 
 
 def cmd_metrics(args: argparse.Namespace, out) -> int:
@@ -229,6 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", type=int, default=0, metavar="N",
                    help="print a sequence diagram of the first N "
                         "protocol invocations")
+    p.add_argument("--trace-out", default="", metavar="FILE",
+                   help="export span traces to FILE (Chrome trace-event "
+                        "JSON; a .jsonl suffix dumps one span per line)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("metrics",
@@ -245,6 +307,26 @@ def build_parser() -> argparse.ArgumentParser:
                    default="table",
                    help="output format (default table)")
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser("trace",
+                       help="run a workload and analyse its span traces")
+    p.add_argument("mode",
+                   choices=("tree", "summary", "critical-path", "chrome"),
+                   help="tree = ASCII trace trees, summary = per-step "
+                        "latency table, critical-path = dominant step "
+                        "per request, chrome = trace-event JSON")
+    _add_testbed_args(p)
+    p.add_argument("--count", type=int, default=4)
+    p.add_argument("--work", type=float, default=200.0)
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn")
+    p.add_argument("--wait", action="store_true",
+                   help="advance virtual time until completion")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write output to FILE instead of stdout "
+                        "(chrome mode + .jsonl suffix dumps spans as "
+                        "JSONL)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("bench", help="compare schedulers on one workload")
     _add_testbed_args(p)

@@ -28,6 +28,7 @@ from ..naming.loid import LOID
 from ..net.topology import NetLocation
 from ..objects.base import LegionObject
 from ..objects.opr import OPR
+from ..obs.spans import NULL_SPANS
 
 __all__ = ["VaultObject"]
 
@@ -47,6 +48,8 @@ class VaultObject(LegionObject):
         self.allowed_domains = (None if allowed_domains is None
                                 else list(allowed_domains))
         self._oprs: Dict[LOID, OPR] = {}
+        #: span tracer (wired by the Metasystem; inert by default)
+        self.spans = NULL_SPANS
         self.stores = 0
         self.retrievals = 0
         self.attributes.update({
@@ -76,26 +79,31 @@ class VaultObject(LegionObject):
 
     def store_opr(self, opr: OPR) -> None:
         """Persist (or overwrite with a newer version of) an OPR."""
-        existing = self._oprs.get(opr.loid)
-        delta = opr.size_bytes - (existing.size_bytes if existing else 0)
-        if delta > self.free_bytes:
-            raise InsufficientResourcesError(
-                f"vault {self.loid}: {delta} bytes needed, "
-                f"{self.free_bytes:.0f} free")
-        if existing is not None and opr.version < existing.version:
-            raise VaultIncompatibleError(
-                f"vault {self.loid}: stale OPR v{opr.version} for "
-                f"{opr.loid} (have v{existing.version})")
-        self._oprs[opr.loid] = opr.clone()
-        self.stores += 1
+        with self.spans.span_if_active("vault.store",
+                                       vault=str(self.loid),
+                                       nbytes=opr.size_bytes):
+            existing = self._oprs.get(opr.loid)
+            delta = opr.size_bytes - (existing.size_bytes if existing else 0)
+            if delta > self.free_bytes:
+                raise InsufficientResourcesError(
+                    f"vault {self.loid}: {delta} bytes needed, "
+                    f"{self.free_bytes:.0f} free")
+            if existing is not None and opr.version < existing.version:
+                raise VaultIncompatibleError(
+                    f"vault {self.loid}: stale OPR v{opr.version} for "
+                    f"{opr.loid} (have v{existing.version})")
+            self._oprs[opr.loid] = opr.clone()
+            self.stores += 1
 
     def retrieve_opr(self, loid: LOID) -> OPR:
-        opr = self._oprs.get(loid)
-        if opr is None:
-            raise UnknownObjectError(
-                f"vault {self.loid} holds no OPR for {loid}")
-        self.retrievals += 1
-        return opr.clone()
+        with self.spans.span_if_active("vault.retrieve",
+                                       vault=str(self.loid)):
+            opr = self._oprs.get(loid)
+            if opr is None:
+                raise UnknownObjectError(
+                    f"vault {self.loid} holds no OPR for {loid}")
+            self.retrievals += 1
+            return opr.clone()
 
     def has_opr(self, loid: LOID) -> bool:
         return loid in self._oprs

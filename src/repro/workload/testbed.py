@@ -63,6 +63,8 @@ class TestbedSpec:
     host_slots: int = 4
     reassess_interval: float = 30.0
     domain_distance_step: float = 0.5
+    #: "off" | "flat" | "spans" — passed to :class:`Metasystem`
+    tracing: str = "spans"
 
     def __post_init__(self) -> None:
         if self.n_domains < 1 or self.hosts_per_domain < 1:
@@ -79,7 +81,8 @@ def build_testbed(spec: Optional[TestbedSpec] = None, **kwargs) -> Metasystem:
     elif kwargs:
         raise TypeError("pass either a TestbedSpec or keyword arguments")
     meta = Metasystem(seed=spec.seed,
-                      reassess_interval=spec.reassess_interval)
+                      reassess_interval=spec.reassess_interval,
+                      tracing=spec.tracing)
     spec_rng = meta.rngs.stream("testbed")
     for d in range(spec.n_domains):
         domain = f"dom{d}"

@@ -7,7 +7,7 @@ instrumentation.
 """
 
 from repro import Metasystem, ObjectClassRequest
-from repro.obs import json_to_snapshot
+from repro.obs import chrome_trace_json, json_to_snapshot, spans_to_jsonl
 from repro.workload import (
     TestbedSpec,
     build_testbed,
@@ -28,7 +28,8 @@ TRACE_KEYS = ("net", "enactor", "collection", "host")
 
 
 def _run_workload(seed: int):
-    """One seeded end-to-end workload; returns (metrics json, counts)."""
+    """One seeded end-to-end workload; returns (metrics json, counts,
+    chrome trace json, span jsonl)."""
     meta = build_testbed(TestbedSpec(
         n_domains=2, hosts_per_domain=3, platform_mix=2,
         background_load_mean=0.4, seed=seed))
@@ -44,23 +45,28 @@ def _run_workload(seed: int):
     wait_for_completion(meta, app, created)
     meta.advance(3600.0)
     counts = {key: meta.tracer.count(key) for key in TRACE_KEYS}
-    return meta.metrics.to_json(), counts
+    return (meta.metrics.to_json(), counts,
+            chrome_trace_json(meta.spans.spans),
+            spans_to_jsonl(meta.spans.spans))
 
 
 class TestDeterminism:
     def test_identical_seeds_identical_snapshots(self):
-        json_a, counts_a = _run_workload(seed=1234)
-        json_b, counts_b = _run_workload(seed=1234)
+        json_a, counts_a, chrome_a, jsonl_a = _run_workload(seed=1234)
+        json_b, counts_b, chrome_b, jsonl_b = _run_workload(seed=1234)
         assert json_a == json_b  # byte-identical export
         assert counts_a == counts_b
+        assert chrome_a == chrome_b  # byte-identical span exports too
+        assert jsonl_a == jsonl_b
 
     def test_different_seeds_diverge(self):
-        json_a, _ = _run_workload(seed=1)
-        json_b, _ = _run_workload(seed=2)
+        json_a, _, chrome_a, _ = _run_workload(seed=1)
+        json_b, _, chrome_b, _ = _run_workload(seed=2)
         assert json_a != json_b
+        assert chrome_a != chrome_b
 
     def test_snapshot_covers_required_families(self):
-        text, _ = _run_workload(seed=7)
+        text, _, _, _ = _run_workload(seed=7)
         snapshot = json_to_snapshot(text)
         names = {m["name"] for m in snapshot["metrics"]}
         missing = [f for f in REQUIRED_FAMILIES if f not in names]

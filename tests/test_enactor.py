@@ -245,6 +245,81 @@ class TestEnactment:
         assert all(r.ok for r in result.entry_results.values())
 
 
+class TestNegotiationSpans:
+    """Causal span parentage across the negotiation subtree."""
+
+    def test_variant_fallback_is_sibling_subtree(self, meta, app_class):
+        vault = meta.vaults[0]
+        full, free, other = meta.hosts[0], meta.hosts[1], meta.hosts[2]
+        fill_reservations(full, vault, app_class)
+        master = MasterSchedule([
+            entry(app_class, full, vault),
+            entry(app_class, other, vault),
+        ])
+        master.add_variant(VariantSchedule(
+            {0: entry(app_class, free, vault)}, label="rescue"))
+        with meta.spans.span("test-root"):
+            feedback = meta.enactor.make_reservations(
+                ScheduleRequestList([master]))
+        assert feedback.ok
+
+        (m_span,) = meta.spans.find("enactor.master")
+        (v_span,) = meta.spans.find("enactor.variant")
+        assert v_span.attributes["label"] == "rescue"
+        # the variant attempt hangs off the same master attempt ...
+        assert v_span.parent_id == m_span.span_id
+        # ... and its reserve batch is a sibling subtree of the master's
+        reserves = meta.spans.find("enactor.reserve")
+        assert [s.parent_id for s in reserves] == [m_span.span_id,
+                                                   v_span.span_id]
+        # the master attempt failed an entry, the variant rescued it
+        assert m_span.attributes["ok"] is True
+        assert v_span.attributes["ok"] is True
+
+    def test_carried_context_parents_host_spans(self, meta, app_class):
+        vault = meta.vaults[0]
+        entries = [entry(app_class, h, vault) for h in meta.hosts[:2]]
+        with meta.spans.span("test-root"):
+            feedback = meta.enactor.make_reservations(
+                ScheduleRequestList([MasterSchedule(entries)]))
+        assert feedback.ok
+        (reserve_span,) = meta.spans.find("enactor.reserve")
+        rpcs = [s for s in meta.spans.spans
+                if s.name.startswith("rpc:make_reservation")]
+        assert len(rpcs) == 2
+        # context rode the Call: every rpc parents under the reserve span
+        assert {s.parent_id for s in rpcs} == {reserve_span.span_id}
+        # and the host-side grant parents under its own rpc
+        grants = meta.spans.find("host.reserve")
+        assert {g.parent_id for g in grants} == {s.span_id for s in rpcs}
+        assert all(g.trace_id == reserve_span.trace_id for g in grants)
+
+    def test_denied_reservation_span_has_error_status(self, meta,
+                                                      app_class):
+        vault = meta.vaults[0]
+        host = meta.hosts[0]
+        fill_reservations(host, vault, app_class)
+        request = ScheduleRequestList(
+            [MasterSchedule([entry(app_class, host, vault)])])
+        with meta.spans.span("test-root"):
+            feedback = meta.enactor.make_reservations(request)
+        assert not feedback.ok
+        (grant,) = meta.spans.find("host.reserve")
+        assert grant.status == "error"
+        assert "ReservationDeniedError" in grant.attributes["error"]
+        (m_span,) = meta.spans.find("enactor.master")
+        assert m_span.status == "error"
+
+    def test_no_spans_without_open_trace(self, meta, app_class):
+        vault = meta.vaults[0]
+        entries = [entry(app_class, h, vault) for h in meta.hosts[:2]]
+        feedback = meta.enactor.make_reservations(
+            ScheduleRequestList([MasterSchedule(entries)]))
+        assert feedback.ok
+        # span_if_active everywhere: direct calls record nothing
+        assert len(meta.spans) == 0
+
+
 class TestCoAllocation:
     def test_parallel_faster_than_sequential(self, multi, app_class=None):
         from repro.objects import Implementation

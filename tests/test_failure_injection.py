@@ -124,6 +124,72 @@ class TestMessageLoss:
         assert isinstance(outcomes[0].error, MessageLostError)
 
 
+class TestFailureSpans:
+    """Failures must be visible in the causal trace, not just in return
+    codes — an error span per failed step (docs/observability.md)."""
+
+    def test_unreachable_host_leaves_error_rpc_span(self, multi):
+        app = multi.create_class("F", implementations_for_all_platforms(),
+                                 work_units=10.0)
+        vaults = {v.location.domain: v for v in multi.vaults}
+        dead, live = multi.hosts[0], multi.hosts[1]
+        dead.machine.fail()
+        multi.topology.set_node_down(dead.location)
+        request = ScheduleRequestList([MasterSchedule([
+            ScheduleMapping(app.loid, dead.loid,
+                            vaults[dead.domain].loid),
+            ScheduleMapping(app.loid, live.loid,
+                            vaults[live.domain].loid),
+        ])])
+        with multi.spans.span("test-root"):
+            feedback = multi.enactor.make_reservations(request)
+        assert not feedback.ok
+        (reserve_span,) = multi.spans.find("enactor.reserve")
+        (rpc_dead,) = multi.spans.find("rpc:make_reservation[0]")
+        assert rpc_dead.parent_id == reserve_span.span_id
+        assert rpc_dead.status == "error"
+        assert "HostUnreachableError" in rpc_dead.attributes["error"]
+        assert rpc_dead.duration == 0.0  # never left the sender
+        # the live host's grant was rolled back — visible as a cancel
+        assert multi.spans.find("enactor.cancel")
+        (m_span,) = multi.spans.find("enactor.master")
+        assert m_span.status == "error"
+
+    def test_message_loss_leaves_error_rpc_span(self):
+        meta = multi_domain(n_domains=1, hosts_per_domain=2, seed=98,
+                            dynamics=False)
+        meta.transport.loss_probability = 1.0
+        from repro.net import Call
+        host = meta.hosts[0]
+        with meta.spans.span("test-root"):
+            outcomes = meta.transport.parallel_invoke(
+                [Call(None, host.location, lambda: 1, label="ping")])
+        assert not outcomes[0].ok
+        (rpc,) = meta.spans.find("rpc:ping")
+        assert rpc.status == "error"
+        assert "MessageLostError" in rpc.attributes["error"]
+
+    def test_failed_migration_root_span_has_error_status(self, multi):
+        app = multi.create_class("M", implementations_for_all_platforms(),
+                                 work_units=5000.0)
+        outcome = multi.make_scheduler("random").run(
+            [ObjectClassRequest(app, 1)])
+        assert outcome.ok
+        loid = outcome.created[0]
+        src = multi.resolve(app.get_instance(loid).host_loid)
+        dst = next(h for h in multi.hosts if h.loid != src.loid
+                   and h.domain == src.domain)
+        dst.machine.fail()
+        multi.spans.clear()
+        report = multi.migrator.migrate(loid, dst.loid)
+        assert not report.ok
+        (root,) = multi.spans.trace_roots()
+        assert root.name == "migration"
+        assert root.status == "error"
+        assert root.attributes["ok"] is False
+        assert root.attributes["step"] == "12-13"
+
+
 class TestMigrationFailures:
     def test_failed_migration_rolls_back_reservation(self, multi):
         from repro.hosts.policy import LoadCeiling
