@@ -33,6 +33,13 @@ from .hosts import (
 )
 from .collection import Collection, DataCollectionDaemon
 from .enactor import Enactor, EnactResult
+from .federation import (
+    ConsistentHashRing,
+    CollectionShard,
+    FederatedCollection,
+    FederationConfig,
+    GossipDaemon,
+)
 from .metasystem import Metasystem
 from .monitor import ExecutionMonitor, MigrationReport, Migrator
 from .naming import LOID, ContextSpace, LOIDMinter
@@ -83,6 +90,9 @@ __all__ = [
     "VaultObject",
     # collection
     "Collection", "DataCollectionDaemon",
+    # federation
+    "ConsistentHashRing", "CollectionShard", "FederatedCollection",
+    "FederationConfig", "GossipDaemon",
     # schedules
     "ScheduleMapping", "MasterSchedule", "VariantSchedule",
     "ScheduleRequestList", "ScheduleFeedback",

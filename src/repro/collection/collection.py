@@ -219,17 +219,56 @@ class Collection(LegionObject):
         ``source`` must expose ``loid`` and an ``attributes`` database (all
         Legion objects do).  Non-members are auto-joined: the pull path is
         Collection-initiated and trusted.
+
+        Pulls are idempotent: re-pulling a snapshot identical to the
+        stored record is a no-op — no timestamp churn, no update-count
+        bump, no staleness reset — so a tight daemon sweep over an idle
+        host cannot masquerade as fresh information.
         """
         now = self._clock()
+        snapshot = source.attributes.snapshot()
         record = self._records.get(source.loid)
+        if record is not None and record.covers(snapshot):
+            self.metrics.count("collection_updates_total", path="pull-noop")
+            return
         if record is None:
             record = CollectionRecord(member=source.loid, joined_at=now,
                                       updated_at=now)
             self._records[source.loid] = record
-        record.apply_update(source.attributes.snapshot(), now)
+        record.apply_update(snapshot, now)
         self.updates_applied += 1
         self.metrics.count("collection_updates_total", path="pull")
         self.metrics.set_gauge("collection_members", len(self._records))
+
+    # -- replication ---------------------------------------------------------------
+    def merge_record(self, incoming: CollectionRecord) -> bool:
+        """Adopt a peer Collection's record if it is fresher than ours.
+
+        This is the anti-entropy write path (``repro.federation.sync``):
+        versions are compared by ``(updated_at, update_count)``, the
+        incoming timestamps are *copied* rather than reset to the local
+        clock, and merging an identical or older record is a no-op —
+        so repeated gossip exchanges of the same record converge instead
+        of churning.  Returns True when the local record changed.
+        """
+        mine = self._records.get(incoming.member)
+        if mine is None:
+            self._records[incoming.member] = CollectionRecord(
+                member=incoming.member,
+                attributes=dict(incoming.attributes),
+                joined_at=incoming.joined_at,
+                updated_at=incoming.updated_at,
+                update_count=incoming.update_count)
+            self.metrics.count("collection_updates_total", path="merge")
+            self.metrics.set_gauge("collection_members", len(self._records))
+            return True
+        if incoming.version() <= mine.version():
+            return False
+        mine.attributes.update(incoming.attributes)
+        mine.updated_at = incoming.updated_at
+        mine.update_count = incoming.update_count
+        self.metrics.count("collection_updates_total", path="merge")
+        return True
 
     # -- function injection ------------------------------------------------------
     def inject_function(self, name: str,

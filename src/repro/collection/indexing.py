@@ -138,6 +138,14 @@ class IndexedCollection(Collection):
         super().pull_from(source)
         self._reindex(source.loid, old)
 
+    def merge_record(self, incoming) -> bool:
+        record = self._records.get(incoming.member)
+        old = dict(record.attributes) if record is not None else {}
+        changed = super().merge_record(incoming)
+        if changed:
+            self._reindex(incoming.member, old)
+        return changed
+
     # -- overridden query path ---------------------------------------------------
     def _candidates(self, ast: Node) -> Optional[List[LOID]]:
         constraints = equality_constraints(ast)

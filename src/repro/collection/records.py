@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Tuple
 
 from ..naming.loid import LOID
 
@@ -29,6 +29,25 @@ class CollectionRecord:
     def staleness(self, now: float) -> float:
         """Seconds since this record was last refreshed."""
         return max(0.0, now - self.updated_at)
+
+    def version(self) -> Tuple[float, int]:
+        """The record's freshness coordinates: later wins, update count
+        breaks same-instant ties (several pushes in one event step)."""
+        return (self.updated_at, self.update_count)
+
+    def covers(self, attributes: Mapping[str, Any]) -> bool:
+        """True if applying ``attributes`` would change nothing — every
+        key is already stored with an equal value.  (``apply_update``
+        merges rather than replaces, so extra stored keys don't count.)"""
+        for key, value in attributes.items():
+            if key not in self.attributes:
+                return False
+            try:
+                if self.attributes[key] != value:
+                    return False
+            except Exception:
+                return False
+        return True
 
     def apply_update(self, attributes: Mapping[str, Any],
                      now: float) -> None:

@@ -1,0 +1,30 @@
+"""repro.federation — a federation of peer Collections.
+
+The paper anticipates that Collections "can be organized into
+hierarchies" and that Schedulers may consult several Collections; this
+package realizes that direction as a sharded, replicated information
+database.  A seeded consistent-hash ring (:mod:`repro.federation.ring`)
+assigns every record a home shard plus replicas; each peer is an
+ordinary Collection wrapped by a :class:`CollectionShard`; anti-entropy
+gossip (:mod:`repro.federation.sync`) repairs replicas missed while
+unreachable; and the :class:`FederatedCollection` facade
+(:mod:`repro.federation.router`) scatter-gathers queries with partial-
+result tolerance behind the unchanged Fig. 4 interface.
+
+Enable it with ``Metasystem(federation=3)`` (or a
+:class:`FederationConfig` for replication/gossip/cache knobs); every
+bundled Scheduler then runs against the federation transparently.
+"""
+
+from .ring import ConsistentHashRing
+from .router import FederatedCollection, FederationConfig
+from .shard import CollectionShard
+from .sync import GossipDaemon
+
+__all__ = [
+    "ConsistentHashRing",
+    "CollectionShard",
+    "FederatedCollection",
+    "FederationConfig",
+    "GossipDaemon",
+]

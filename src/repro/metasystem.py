@@ -31,6 +31,10 @@ from .collection.collection import Collection, Credential
 from .collection.daemon import DataCollectionDaemon
 from .enactor.enactor import Enactor
 from .errors import LegionError, UnknownObjectError
+from .federation.ring import ConsistentHashRing
+from .federation.router import FederatedCollection, FederationConfig
+from .federation.shard import CollectionShard
+from .federation.sync import GossipDaemon
 from .hosts.batch_host import BatchQueueHost
 from .hosts.host_object import HostObject
 from .hosts.machine import LoadWalk, MachineSpec, SimMachine
@@ -90,7 +94,8 @@ class Metasystem:
                  require_collection_auth: bool = True,
                  domain: str = "legion",
                  trace_max_records: Optional[int] = None,
-                 tracing: str = "spans"):
+                 tracing: str = "spans",
+                 federation: Any = None):
         if tracing not in ("off", "flat", "spans"):
             raise ValueError(
                 f"tracing must be 'off', 'flat' or 'spans', got {tracing!r}")
@@ -143,12 +148,21 @@ class Metasystem:
         self.vaults: List[VaultObject] = []
         self.classes: Dict[str, ClassObject] = {}
 
-        # the default Collection — a service object at no particular node
-        self.collection = Collection(
-            self.minter.mint("svc", "collection"),
-            location=None, require_auth=require_collection_auth,
-            clock=lambda: self.sim.now, metrics=self.metrics)
-        self.collection.spans = self.spans
+        # the information database: one monolithic Collection by default,
+        # or — with the ``federation=`` knob — a consistent-hash federation
+        # of peer Collection shards behind the same Fig. 4 interface
+        self.federation_config = FederationConfig.normalize(federation)
+        self.collection_shards: List[CollectionShard] = []
+        self.gossip: Optional[GossipDaemon] = None
+        if self.federation_config is None:
+            self.collection = Collection(
+                self.minter.mint("svc", "collection"),
+                location=None, require_auth=require_collection_auth,
+                clock=lambda: self.sim.now, metrics=self.metrics)
+            self.collection.spans = self.spans
+        else:
+            self.collection = self._build_federation(
+                self.federation_config, require_collection_auth)
         self._register(self.collection)
         self.context.bind("/etc/Collection", self.collection.loid)
         self._host_credentials: Dict[LOID, Credential] = {}
@@ -158,6 +172,69 @@ class Metasystem:
         self.migrator = Migrator(self.transport, self.resolve)
         self.monitor: Optional[ExecutionMonitor] = None
         self._machine_serial = itertools.count()
+
+    # ------------------------------------------------------------------
+    # federation
+    # ------------------------------------------------------------------
+    def _build_federation(self, cfg: FederationConfig,
+                          require_auth: bool) -> FederatedCollection:
+        """Assemble shards, ring, router, and (optionally) gossip."""
+        ring = ConsistentHashRing(seed=self.rngs.seed, vnodes=cfg.vnodes)
+        for i in range(cfg.shards):
+            shard_id = f"shard{i}"
+            ring.add_shard(shard_id)
+            coll = Collection(
+                self.minter.mint("svc", f"collection-{shard_id}"),
+                location=None, require_auth=require_auth,
+                clock=lambda: self.sim.now, metrics=self.metrics)
+            coll.spans = self.spans
+            shard = CollectionShard(shard_id, coll, ring,
+                                    cfg.replication)
+            self.collection_shards.append(shard)
+            self._register(coll)
+            self.context.bind(f"/etc/Collection.{shard_id}", coll.loid)
+            self.metrics.gauge(
+                "federation_shard_members",
+                help="records held per federation shard",
+                labelnames=["shard"]).labels(
+                    shard=shard_id).set_function(
+                        lambda s=shard: float(len(s)))
+        router = FederatedCollection(
+            self.minter.mint("svc", "collection"),
+            self.collection_shards, ring, cfg.replication,
+            transport=self.transport, clock=lambda: self.sim.now,
+            metrics=self.metrics, require_auth=require_auth,
+            cache_ttl=cfg.cache_ttl, shard_timeout=cfg.shard_timeout)
+        router.spans = self.spans
+        if cfg.gossip_interval > 0:
+            self.gossip = GossipDaemon(
+                self.sim, self.collection_shards,
+                interval=cfg.gossip_interval,
+                rng=self.rngs.stream("federation", "gossip"),
+                transport=self.transport, metrics=self.metrics,
+                spans=self.spans)
+            self.gossip.start()
+        return router
+
+    def place_federation(self, domains: Optional[Sequence[str]] = None
+                         ) -> List[NetLocation]:
+        """Give every federation shard a network node (round-robin over
+        ``domains``, default all registered domains), so scatter-gather
+        queries and replica writes cost real messages and shards can be
+        partitioned or taken down through the topology."""
+        if self.federation_config is None:
+            raise LegionError("metasystem is not federated")
+        names = list(domains) if domains else [
+            d.name for d in self.topology.domains()]
+        if not names:
+            raise LegionError("no domains to place shards in")
+        locations = []
+        for i, shard in enumerate(self.collection_shards):
+            location = self.topology.add_node(
+                names[i % len(names)], f"collection-{shard.shard_id}")
+            shard.location = location
+            locations.append(location)
+        return locations
 
     # ------------------------------------------------------------------
     # registry / naming

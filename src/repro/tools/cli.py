@@ -14,6 +14,8 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim metrics --count 4 --format table
    $ legion-sim trace critical-path --count 4
    $ legion-sim trace chrome --count 4 --out trace.json
+   $ legion-sim run --shards 3 --replication 2 --count 4
+   $ legion-sim federation --shards 3 --gossip-interval 30 --wait
 
 ``repro-cli`` is an alias of the same entry point.
 
@@ -46,7 +48,11 @@ def _build_meta(args: argparse.Namespace) -> Metasystem:
         hosts_per_domain=args.hosts,
         platform_mix=args.platforms,
         background_load_mean=args.load,
-        seed=args.seed))
+        seed=args.seed,
+        federation_shards=args.shards,
+        federation_replication=args.replication,
+        gossip_interval=args.gossip_interval,
+        federation_cache_ttl=args.cache_ttl))
 
 
 def _add_testbed_args(parser: argparse.ArgumentParser) -> None:
@@ -60,6 +66,18 @@ def _add_testbed_args(parser: argparse.ArgumentParser) -> None:
                         help="mean background load (default 0.5)")
     parser.add_argument("--seed", type=int, default=0,
                         help="experiment seed (default 0)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="federate the Collection into N shards "
+                             "(default 0 = one monolithic Collection)")
+    parser.add_argument("--replication", type=int, default=2,
+                        help="replicas per record when federated "
+                             "(default 2)")
+    parser.add_argument("--gossip-interval", type=float, default=0.0,
+                        help="anti-entropy sweep period in virtual "
+                             "seconds (default 0 = gossip off)")
+    parser.add_argument("--cache-ttl", type=float, default=0.0,
+                        help="federation query-cache TTL in virtual "
+                             "seconds (default 0 = cache off)")
 
 
 def cmd_hosts(args: argparse.Namespace, out) -> int:
@@ -253,6 +271,72 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_federation(args: argparse.Namespace, out) -> int:
+    """Run a seeded federated workload and print ring/gossip stats."""
+    if args.shards < 2:
+        args.shards = 3  # this subcommand only makes sense federated
+    meta = _build_meta(args)
+    app = meta.create_class("cli-app",
+                            implementations_for_all_platforms(),
+                            work_units=args.work)
+    try:
+        scheduler = meta.make_scheduler(args.scheduler)
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+    outcome = scheduler.run([ObjectClassRequest(app, count=args.count)])
+    if outcome.ok and args.wait:
+        wait_for_completion(meta, app, outcome.created)
+
+    router = meta.collection
+    ring = router.ring
+    table = ExperimentTable(
+        f"ring layout: {args.shards} shards, replication "
+        f"{router.replication} (seed {args.seed})",
+        ["shard", "vnodes", "arc %", "members", "home members"])
+    fractions = ring.arc_fractions()
+    layout = ring.layout()
+    for shard in meta.collection_shards:
+        home = sum(1 for m in shard.collection.members()
+                   if shard.is_home(m))
+        table.add(shard.shard_id, layout[shard.shard_id],
+                  round(100.0 * fractions[shard.shard_id], 1),
+                  len(shard), home)
+    table.print(out)
+
+    print(file=out)
+    placement = ExperimentTable(
+        "replica placement (hosts)",
+        ["member", "home", "replicas"])
+    for host in meta.hosts:
+        plist = ring.preference_list(str(host.loid), router.replication)
+        placement.add(host.machine.name, plist[0], " ".join(plist[1:]))
+    placement.print(out)
+
+    print(file=out)
+    print("query routing:", file=out)
+    print(f"  queries served      {router.queries_served}", file=out)
+    print(f"  partial queries     {router.partial_queries}", file=out)
+    print(f"  healthy shards      {len(router.healthy_shards())}/"
+          f"{len(router.shards)}", file=out)
+    cache = router.cache_stats()
+    print(f"  cache hit ratio     {cache['hit_ratio']:.2f} "
+          f"({cache['hit']:.0f} hits / {cache['miss']:.0f} misses / "
+          f"{cache['expired']:.0f} expired)", file=out)
+    print(f"  mean staleness      {router.mean_staleness():.1f}s",
+          file=out)
+    if meta.gossip is not None:
+        print("gossip:", file=out)
+        print(f"  rounds              {meta.gossip.rounds}", file=out)
+        print(f"  records exchanged   {meta.gossip.records_exchanged}",
+              file=out)
+        print(f"  bytes exchanged     {meta.gossip.bytes_exchanged}",
+              file=out)
+    else:
+        print("gossip: disabled (--gossip-interval 0)", file=out)
+    return 0 if outcome.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="legion-sim",
@@ -327,6 +411,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "(chrome mode + .jsonl suffix dumps spans as "
                         "JSONL)")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("federation",
+                       help="run a federated workload and print ring "
+                            "layout, replica placement, and "
+                            "gossip/staleness stats")
+    _add_testbed_args(p)
+    p.add_argument("--count", type=int, default=4)
+    p.add_argument("--work", type=float, default=200.0)
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn")
+    p.add_argument("--wait", action="store_true",
+                   help="advance virtual time until completion")
+    p.set_defaults(fn=cmd_federation)
 
     p = sub.add_parser("bench", help="compare schedulers on one workload")
     _add_testbed_args(p)

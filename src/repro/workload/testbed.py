@@ -65,6 +65,15 @@ class TestbedSpec:
     domain_distance_step: float = 0.5
     #: "off" | "flat" | "spans" — passed to :class:`Metasystem`
     tracing: str = "spans"
+    #: federate the information database into this many Collection
+    #: shards (0 = single monolithic Collection)
+    federation_shards: int = 0
+    #: replicas per record when federated
+    federation_replication: int = 2
+    #: anti-entropy sweep period in virtual seconds (0 disables gossip)
+    gossip_interval: float = 0.0
+    #: router-side query cache TTL in virtual seconds (0 disables)
+    federation_cache_ttl: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_domains < 1 or self.hosts_per_domain < 1:
@@ -80,9 +89,18 @@ def build_testbed(spec: Optional[TestbedSpec] = None, **kwargs) -> Metasystem:
         spec = TestbedSpec(**kwargs)
     elif kwargs:
         raise TypeError("pass either a TestbedSpec or keyword arguments")
+    federation = None
+    if spec.federation_shards:
+        from ..federation.router import FederationConfig
+        federation = FederationConfig(
+            shards=spec.federation_shards,
+            replication=spec.federation_replication,
+            gossip_interval=spec.gossip_interval,
+            cache_ttl=spec.federation_cache_ttl)
     meta = Metasystem(seed=spec.seed,
                       reassess_interval=spec.reassess_interval,
-                      tracing=spec.tracing)
+                      tracing=spec.tracing,
+                      federation=federation)
     spec_rng = meta.rngs.stream("testbed")
     for d in range(spec.n_domains):
         domain = f"dom{d}"

@@ -119,3 +119,46 @@ class TestBench:
         a = run_cli("run", "--count", "2", "--seed", "9", "--load", "0")
         b = run_cli("run", "--count", "2", "--seed", "9", "--load", "0")
         assert a == b
+
+
+class TestFederationCommand:
+    def test_prints_ring_and_gossip_stats(self):
+        code, text = run_cli("federation", "--shards", "3",
+                             "--replication", "2",
+                             "--gossip-interval", "30",
+                             "--cache-ttl", "60", "--wait")
+        assert code == 0
+        assert "ring layout: 3 shards, replication 2" in text
+        assert "shard0" in text and "shard2" in text
+        assert "replica placement" in text
+        assert "cache hit ratio" in text
+        assert "rounds" in text
+
+    def test_defaults_to_three_shards(self):
+        code, text = run_cli("federation")
+        assert code == 0
+        assert "3 shards" in text
+
+    def test_run_accepts_federation_flags(self):
+        code, text = run_cli("run", "--count", "3", "--scheduler",
+                             "random", "--load", "0", "--shards", "3")
+        assert code == 0
+        assert "placed 3 instance(s)" in text
+
+    def test_federated_run_matches_monolithic_placements(self):
+        _, mono = run_cli("run", "--count", "3", "--scheduler", "irs",
+                          "--seed", "4")
+        _, fed = run_cli("run", "--count", "3", "--scheduler", "irs",
+                         "--seed", "4", "--shards", "3",
+                         "--replication", "2")
+        mono_lines = [ln for ln in mono.splitlines()
+                      if ln.startswith("  ")]
+        fed_lines = [ln for ln in fed.splitlines() if ln.startswith("  ")]
+        assert mono_lines == fed_lines
+
+    def test_determinism_across_invocations(self):
+        args = ("federation", "--shards", "3", "--gossip-interval", "20",
+                "--seed", "9", "--wait")
+        _, first = run_cli(*args)
+        _, second = run_cli(*args)
+        assert first == second

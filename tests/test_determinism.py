@@ -50,6 +50,29 @@ def _run_workload(seed: int):
             spans_to_jsonl(meta.spans.spans))
 
 
+def _run_federated_workload(seed: int):
+    """A federated run with gossip + query cache enabled; returns the
+    telemetry exports that must be byte-identical across runs."""
+    meta = build_testbed(TestbedSpec(
+        n_domains=2, hosts_per_domain=3, platform_mix=2,
+        background_load_mean=0.4, seed=seed,
+        federation_shards=3, federation_replication=2,
+        gossip_interval=45.0, federation_cache_ttl=30.0))
+    app = meta.create_class("det-app",
+                            implementations_for_all_platforms(),
+                            work_units=120.0)
+    outcome = meta.make_scheduler("irs").run(
+        [ObjectClassRequest(app, count=3)])
+    assert outcome.ok
+    wait_for_completion(meta, app, outcome.created)
+    meta.advance(600.0)
+    gossip = (meta.gossip.rounds, meta.gossip.records_exchanged,
+              meta.gossip.bytes_exchanged)
+    return (meta.metrics.to_json(), gossip,
+            chrome_trace_json(meta.spans.spans),
+            spans_to_jsonl(meta.spans.spans))
+
+
 class TestDeterminism:
     def test_identical_seeds_identical_snapshots(self):
         json_a, counts_a, chrome_a, jsonl_a = _run_workload(seed=1234)
@@ -64,6 +87,25 @@ class TestDeterminism:
         json_b, _, chrome_b, _ = _run_workload(seed=2)
         assert json_a != json_b
         assert chrome_a != chrome_b
+
+    def test_federated_runs_identical(self):
+        """Same seed ⇒ byte-identical telemetry with sharding, gossip,
+        and the query cache all active."""
+        json_a, gossip_a, chrome_a, jsonl_a = _run_federated_workload(77)
+        json_b, gossip_b, chrome_b, jsonl_b = _run_federated_workload(77)
+        assert json_a == json_b
+        assert gossip_a == gossip_b
+        assert chrome_a == chrome_b
+        assert jsonl_a == jsonl_b
+        # the federation actually did something in this workload
+        assert gossip_a[0] > 0  # gossip rounds
+        snapshot = json_to_snapshot(json_a)
+        names = {m["name"] for m in snapshot["metrics"]}
+        for family in ("federation_shard_queries_total",
+                       "federation_gossip_rounds_total",
+                       "federation_shard_members",
+                       "federation_result_staleness_seconds"):
+            assert family in names, family
 
     def test_snapshot_covers_required_families(self):
         text, _, _, _ = _run_workload(seed=7)
