@@ -16,6 +16,15 @@ Entry point: :class:`repro.Metasystem`.  See README.md for a quickstart.
 """
 
 from . import errors
+from .chaos import (
+    ChaosInjector,
+    ChaosPlan,
+    FaultEvent,
+    ResilienceReport,
+    RetryPolicy,
+    generate_campaign,
+    run_campaign,
+)
 from .hosts import (
     ALL_TYPES,
     BatchQueueHost,
@@ -105,4 +114,7 @@ __all__ = [
     "MigrationReport",
     # observability
     "MetricsRegistry", "NullMetricsRegistry",
+    # chaos
+    "ChaosInjector", "ChaosPlan", "FaultEvent", "ResilienceReport",
+    "RetryPolicy", "generate_campaign", "run_campaign",
 ]

@@ -1,0 +1,275 @@
+"""ChaosInjector: a fault-injection daemon on the simulation kernel.
+
+:meth:`ChaosInjector.arm` schedules every event of a
+:class:`~repro.chaos.plan.ChaosPlan` on the virtual clock; faults apply
+and revert at their planned times while the protocol under test runs.
+The injector
+
+* **locks targets** — two faults sharing a lock key (e.g. two crashes of
+  the same host) never overlap; the later one is recorded as skipped;
+* **emits telemetry** — ``chaos_*`` counters/gauges in the metrics
+  registry, and one detached root span per fault window
+  (``chaos:<kind>``) via :meth:`SpanTracer.record_span`, so injected
+  faults appear alongside protocol spans in Chrome-trace exports;
+* **guarantees revert-on-teardown** — :meth:`teardown` reverts every
+  still-active fault (reverse apply order), then sweeps the whole
+  substrate (topology, transport spikes, machines, federation shards)
+  and force-repairs anything left, reporting residuals so tests and CI
+  can assert the world ends fault-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..errors import ChaosError
+from .faults import Fault, make_fault
+from .plan import ChaosPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..metasystem import Metasystem
+
+__all__ = ["ChaosInjector", "FaultRecord"]
+
+
+@dataclass
+class FaultRecord:
+    """The injector's log entry for one planned fault."""
+
+    index: int
+    kind: str
+    target: str
+    scheduled_at: float
+    duration: float
+    magnitude: float
+    applied_at: Optional[float] = None
+    reverted_at: Optional[float] = None
+    skipped: bool = False
+    error: str = ""
+    #: reverted by teardown rather than at its planned time
+    forced: bool = False
+    lost_jobs: int = 0
+    lost_work: float = 0.0
+    fault: Optional[Fault] = field(default=None, repr=False)
+
+    @property
+    def active(self) -> bool:
+        return self.applied_at is not None and self.reverted_at is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index, "kind": self.kind, "target": self.target,
+            "scheduled_at": self.scheduled_at, "duration": self.duration,
+            "magnitude": self.magnitude, "applied_at": self.applied_at,
+            "reverted_at": self.reverted_at, "skipped": self.skipped,
+            "error": self.error, "forced": self.forced,
+            "lost_jobs": self.lost_jobs, "lost_work": self.lost_work,
+        }
+
+
+class ChaosInjector:
+    """Applies and reverts a plan's faults at virtual times."""
+
+    def __init__(self, meta: "Metasystem", plan: ChaosPlan):
+        self.meta = meta
+        self.plan = plan
+        self.records: List[FaultRecord] = []
+        self.armed = False
+        self.torn_down = False
+        #: residual fault descriptions found at teardown (should be [])
+        self.residuals: List[str] = []
+        #: repairs the teardown sweep had to force (should be 0)
+        self.forced_repairs = 0
+        self._locks: Dict[Tuple[str, str], int] = {}
+
+    # -- arming --------------------------------------------------------------
+    def arm(self) -> "ChaosInjector":
+        """Schedule every planned fault on the simulator."""
+        if self.armed:
+            raise ChaosError("injector is already armed")
+        self.armed = True
+        for i, event in enumerate(self.plan.events):
+            fault = make_fault(event.kind, event.target, event.magnitude)
+            record = FaultRecord(
+                index=i, kind=event.kind, target=event.target,
+                scheduled_at=event.at, duration=event.duration,
+                magnitude=event.magnitude, fault=fault)
+            self.records.append(record)
+            self.meta.sim.schedule_at(event.at,
+                                      lambda r=record: self._apply(r))
+        return self
+
+    # -- apply / revert -------------------------------------------------------
+    def _apply(self, record: FaultRecord) -> None:
+        if self.torn_down:
+            record.skipped = True
+            return
+        key = record.fault.lock_key
+        if key in self._locks:
+            record.skipped = True
+            record.error = "target busy (overlapping fault)"
+            self.meta.metrics.count("chaos_faults_skipped_total",
+                                    kind=record.kind)
+            return
+        try:
+            record.fault.apply(self.meta)
+        except ChaosError as exc:
+            record.error = str(exc)
+            self.meta.metrics.count("chaos_fault_errors_total",
+                                    kind=record.kind)
+            return
+        record.applied_at = self.meta.now
+        record.lost_jobs = int(record.fault.info.get("lost_jobs", 0))
+        record.lost_work = float(record.fault.info.get("lost_work", 0.0))
+        self.meta.metrics.count("chaos_faults_injected_total",
+                                kind=record.kind)
+        if record.lost_jobs:
+            self.meta.metrics.count("chaos_jobs_lost_total",
+                                    record.lost_jobs)
+        if record.fault.one_shot:
+            # a repair action: done the moment it applies
+            record.reverted_at = record.applied_at
+            self.meta.spans.record_span(
+                f"chaos:{record.kind}", start=record.applied_at,
+                end=record.applied_at, target=record.target)
+            return
+        self._locks[key] = record.index
+        self.meta.metrics.set_gauge("chaos_active_faults",
+                                    float(len(self._locks)))
+        if record.duration > 0:
+            self.meta.sim.schedule(record.duration,
+                                   lambda r=record: self._revert(r))
+        # duration == 0: the fault persists until teardown
+
+    def _revert(self, record: FaultRecord, forced: bool = False) -> None:
+        if self.torn_down and not forced:
+            return
+        if not record.active:
+            return
+        try:
+            record.fault.revert(self.meta)
+        except ChaosError as exc:
+            record.error = str(exc)
+            self.meta.metrics.count("chaos_fault_errors_total",
+                                    kind=record.kind)
+        record.reverted_at = self.meta.now
+        record.forced = forced
+        key = record.fault.lock_key
+        if self._locks.get(key) == record.index:
+            del self._locks[key]
+        self.meta.metrics.count("chaos_faults_reverted_total",
+                                kind=record.kind)
+        self.meta.metrics.set_gauge("chaos_active_faults",
+                                    float(len(self._locks)))
+        self.meta.spans.record_span(
+            f"chaos:{record.kind}", start=record.applied_at,
+            end=record.reverted_at, target=record.target,
+            magnitude=record.magnitude, forced=forced)
+
+    # -- teardown ------------------------------------------------------------
+    def teardown(self) -> "ChaosInjector":
+        """Revert every active fault, then force-repair anything left.
+
+        After teardown the metasystem is guaranteed fault-free:
+        :attr:`residuals` lists whatever the sweep found still broken
+        (a correct run leaves it empty) and :attr:`forced_repairs`
+        counts the repairs it had to make.
+        """
+        if self.torn_down:
+            return self
+        for record in sorted(
+                (r for r in self.records if r.active),
+                key=lambda r: r.applied_at, reverse=True):
+            self._revert(record, forced=True)
+        self.torn_down = True  # pending apply/revert callbacks now no-op
+        self.residuals = self.residual_faults()
+        self.forced_repairs = self._force_repair()
+        self.meta.metrics.set_gauge("chaos_residual_faults",
+                                    float(len(self.residuals)))
+        self.meta.metrics.set_gauge("chaos_active_faults", 0.0)
+        return self
+
+    def residual_faults(self) -> List[str]:
+        """Every fault-like condition currently present in the world."""
+        issues: List[str] = []
+        topology = self.meta.topology
+        for a, b in topology.partitions():
+            issues.append(f"partition {a}|{b}")
+        for loc in topology.down_nodes():
+            issues.append(f"node down {loc}")
+        for host in self.meta.hosts:
+            if not host.machine.up:
+                issues.append(f"machine down {host.machine.name}")
+        transport = self.meta.transport
+        if transport._loss_spikes:
+            issues.append(
+                f"{len(transport._loss_spikes)} loss spike(s) active")
+        if transport._latency_factors:
+            issues.append(
+                f"{len(transport._latency_factors)} latency factor(s) "
+                f"active")
+        for shard in self.meta.collection_shards:
+            if shard.forced_down:
+                issues.append(f"shard forced down {shard.shard_id}")
+        return issues
+
+    def _force_repair(self) -> int:
+        repairs = self.meta.topology.clear_faults()
+        repairs += self.meta.transport.clear_spikes()
+        for host in self.meta.hosts:
+            if not host.machine.up:
+                host.machine.recover()
+                repairs += 1
+        for shard in self.meta.collection_shards:
+            if shard.forced_down:
+                shard.forced_down = False
+                repairs += 1
+        return repairs
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        return len(self._locks)
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate view of the campaign for reports."""
+        injected: Dict[str, int] = {}
+        reverted: Dict[str, int] = {}
+        skipped = errors = jobs_lost = 0
+        work_lost = 0.0
+        repair_times: List[float] = []
+        for r in self.records:
+            if r.skipped:
+                skipped += 1
+                continue
+            if r.error and r.applied_at is None:
+                errors += 1
+                continue
+            if r.applied_at is not None:
+                injected[r.kind] = injected.get(r.kind, 0) + 1
+                jobs_lost += r.lost_jobs
+                work_lost += r.lost_work
+            if r.applied_at is not None and r.reverted_at is not None:
+                reverted[r.kind] = reverted.get(r.kind, 0) + 1
+                if not r.fault.one_shot:
+                    repair_times.append(r.reverted_at - r.applied_at)
+        return {
+            "planned": len(self.records),
+            "injected": injected,
+            "reverted": reverted,
+            "skipped": skipped,
+            "errors": errors,
+            "jobs_lost": jobs_lost,
+            "work_lost": work_lost,
+            "forced_repairs": self.forced_repairs,
+            "residual_faults": list(self.residuals),
+            "mttr_mean": (sum(repair_times) / len(repair_times)
+                          if repair_times else 0.0),
+            "mttr_max": max(repair_times) if repair_times else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ChaosInjector plan={len(self.plan)} "
+                f"active={self.active_count} "
+                f"torn_down={self.torn_down}>")

@@ -33,6 +33,8 @@ class ReservationOutcome:
     mapping: ScheduleMapping
     token: Optional[ReservationToken] = None
     error: str = ""
+    #: the raw failure, kept so retry layers can classify retryability
+    exception: Optional[Exception] = None
 
     @property
     def ok(self) -> bool:
@@ -107,6 +109,7 @@ class CoAllocator:
             else:
                 outcomes[pos].error = (f"{type(error).__name__}: {error}"
                                        if error is not None else "failed")
+                outcomes[pos].exception = error
         return outcomes
 
     # -- cancellation -----------------------------------------------------------

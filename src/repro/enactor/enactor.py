@@ -79,6 +79,8 @@ class EnactorStats:
     master_attempts: int = 0
     enactments: int = 0
     enact_failures: int = 0
+    #: re-issued reservation requests driven by the opt-in retry policy
+    reservation_retries: int = 0
 
 
 @dataclass
@@ -139,6 +141,9 @@ class Enactor:
             sequential=sequential_coallocation)
         self.naive_variant_handling = naive_variant_handling
         self.max_variant_attempts = max_variant_attempts
+        #: opt-in retry layer for transient reservation failures
+        #: (duck-typed; see repro.chaos.retry.RetryPolicy)
+        self.retry_policy = None
         self.stats = EnactorStats()
         self._cancelled_targets: set = set()
 
@@ -203,6 +208,8 @@ class Enactor:
                 outcomes = self.coallocator.reserve_batch(
                     indexed, rtype=rtype, duration=duration,
                     start_time=start_time, timeout=timeout)
+                outcomes = self._retry_failed(outcomes, rtype, duration,
+                                              start_time, timeout)
         self.stats.reservation_requests += len(indexed)
         self.metrics.count("enactor_reservation_requests_total",
                            len(indexed))
@@ -216,6 +223,40 @@ class Enactor:
                     self.stats.thrash_count += 1
                     self.metrics.count("enactor_thrash_total")
         return outcomes
+
+    def _retry_failed(self, outcomes: List[ReservationOutcome],
+                      rtype: ReservationType, duration: float,
+                      start_time: float, timeout: float
+                      ) -> List[ReservationOutcome]:
+        """Re-issue reservations that failed transiently (lost messages),
+        under the installed :attr:`retry_policy`.  Without a policy (the
+        default) this is a no-op."""
+        policy = self.retry_policy
+        if policy is None:
+            return outcomes
+        first_try = self.transport.sim.now
+        attempt = 0
+        while True:
+            failed = [(pos, o) for pos, o in enumerate(outcomes)
+                      if not o.ok and o.exception is not None
+                      and policy.is_retryable(o.exception)]
+            if not failed:
+                return outcomes
+            attempt += 1
+            delay = policy.next_delay(failed[0][1].exception, attempt,
+                                      self.transport.sim.now - first_try)
+            if delay is None:
+                return outcomes
+            self.stats.reservation_retries += len(failed)
+            self.metrics.count("enactor_reservation_retries_total",
+                               len(failed))
+            self.transport.sim.run_until(self.transport.sim.now + delay)
+            redo = self.coallocator.reserve_batch(
+                [(o.index, o.mapping) for _, o in failed],
+                rtype=rtype, duration=duration,
+                start_time=start_time, timeout=timeout)
+            for (pos, _), new_outcome in zip(failed, redo):
+                outcomes[pos] = new_outcome
 
     def _cancel_holdings(self, holdings: Dict[int, _Holding]) -> None:
         if not holdings:

@@ -11,7 +11,16 @@ from __future__ import annotations
 
 
 class LegionError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``retryable`` classifies whether retrying the *same* operation after a
+    backoff can plausibly succeed while the fault persists.  The
+    :class:`~repro.chaos.retry.RetryPolicy` consults this flag; subclasses
+    override it where the failure mode is transient.
+    """
+
+    #: may an idempotent retry of the same call succeed?
+    retryable = False
 
 
 # ---------------------------------------------------------------------------
@@ -39,11 +48,25 @@ class NetworkError(LegionError):
 
 
 class HostUnreachableError(NetworkError):
-    """The destination object's host cannot be reached (partition/down)."""
+    """The destination object's host cannot be reached (partition/down).
+
+    Not retryable by default: a partition or node failure persists on
+    simulation timescales, so an immediate retry hits the same wall.
+    (:class:`~repro.chaos.retry.RetryPolicy` has a ``retry_unreachable``
+    knob for callers that expect fast repair.)
+    """
+
+    retryable = False
 
 
 class MessageLostError(NetworkError):
-    """A message was dropped by the simulated network."""
+    """A message was dropped by the simulated network.
+
+    Retryable: loss is a per-message coin flip, so resending an idempotent
+    request is exactly the right response.
+    """
+
+    retryable = True
 
 
 class RPCError(NetworkError):
@@ -168,3 +191,13 @@ class SchedulingError(LegionError):
 
 class MigrationError(LegionError):
     """Object migration (deactivate / move OPR / reactivate) failed."""
+
+
+# ---------------------------------------------------------------------------
+# Chaos / fault injection
+# ---------------------------------------------------------------------------
+
+class ChaosError(LegionError):
+    """A fault action could not be applied or reverted (e.g. crashing a
+    host that is already down, or a shard outage on an unfederated
+    metasystem)."""

@@ -112,16 +112,22 @@ class SimMachine:
         self.jobs: Dict[int, SimJob] = {}
         self._last_advance = sim.now
         self._epoch = 0  # invalidates stale completion callbacks
+        self._load_epoch = 0  # invalidates stale load-step chains
         self.completed_jobs = 0
         self.total_work_done = 0.0
+        self.failures = 0
         if load_walk is not None:
             self._schedule_load_step()
 
     # -- background load process ------------------------------------------------
     def _schedule_load_step(self) -> None:
-        self.sim.schedule(self.load_walk.interval, self._load_step)
+        epoch = self._load_epoch
+        self.sim.schedule(self.load_walk.interval,
+                          lambda: self._load_step(epoch))
 
-    def _load_step(self) -> None:
+    def _load_step(self, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._load_epoch:
+            return  # stale chain from before a fail/recover cycle
         if not self.up:
             return
         self._advance()
@@ -240,7 +246,13 @@ class SimMachine:
 
     # -- failure ----------------------------------------------------------------------
     def fail(self) -> List[SimJob]:
-        """Crash: all running jobs are lost (returned for bookkeeping)."""
+        """Crash: all running jobs are lost (returned for bookkeeping).
+
+        Idempotent: failing a machine that is already down returns an
+        empty list, so callers summing lost jobs never double-count.
+        """
+        if not self.up:
+            return []
         self._advance()
         lost = list(self.jobs.values())
         for job in lost:
@@ -248,11 +260,19 @@ class SimMachine:
         self.jobs.clear()
         self.up = False
         self._epoch += 1
+        self._load_epoch += 1  # orphan any pending load step
+        self.failures += 1
         return lost
 
     def recover(self) -> None:
+        """Bring the machine back up.  Idempotent: recovering an up
+        machine is a no-op (in particular it never seeds a second
+        background-load chain)."""
+        if self.up:
+            return
         self.up = True
         self._last_advance = self.sim.now
+        self._load_epoch += 1
         if self.load_walk is not None:
             self._schedule_load_step()
 

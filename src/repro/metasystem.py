@@ -95,7 +95,8 @@ class Metasystem:
                  domain: str = "legion",
                  trace_max_records: Optional[int] = None,
                  tracing: str = "spans",
-                 federation: Any = None):
+                 federation: Any = None,
+                 chaos: Any = None):
         if tracing not in ("off", "flat", "spans"):
             raise ValueError(
                 f"tracing must be 'off', 'flat' or 'spans', got {tracing!r}")
@@ -172,6 +173,13 @@ class Metasystem:
         self.migrator = Migrator(self.transport, self.resolve)
         self.monitor: Optional[ExecutionMonitor] = None
         self._machine_serial = itertools.count()
+
+        # the chaos knob stores a default campaign source (profile name,
+        # CampaignConfig, or ChaosPlan); the injector itself is armed by
+        # start_chaos() once hosts exist, since campaign generation needs
+        # the topology's target universe
+        self.chaos_config = chaos
+        self.chaos: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # federation
@@ -490,6 +498,73 @@ class Metasystem:
         self.monitor = ExecutionMonitor(self.migrator, self.collection,
                                         self.resolve, **kwargs)
         return self.monitor
+
+    # ------------------------------------------------------------------
+    # chaos / resilience
+    # ------------------------------------------------------------------
+    def start_chaos(self, plan: Any = None, profile: str = "",
+                    chaos_seed: int = 0,
+                    horizon: Optional[float] = None) -> Any:
+        """Generate (if needed) and arm a fault-injection campaign.
+
+        ``plan`` may be a prebuilt :class:`~repro.chaos.plan.ChaosPlan`;
+        otherwise a campaign is generated from ``profile`` (a name in
+        :data:`repro.chaos.plan.PROFILES` or a
+        :class:`~repro.chaos.plan.CampaignConfig`), falling back to the
+        constructor's ``chaos=`` knob.  Call after hosts are built —
+        campaign generation targets the current topology.  Returns the
+        armed :class:`~repro.chaos.injector.ChaosInjector`.
+        """
+        from .chaos.injector import ChaosInjector
+        from .chaos.plan import (
+            PROFILES,
+            CampaignConfig,
+            ChaosPlan,
+            generate_campaign,
+        )
+        if self.chaos is not None:
+            raise LegionError("a chaos injector is already armed")
+        source = plan if plan is not None else (profile or self.chaos_config)
+        if source is None:
+            raise LegionError(
+                "no chaos plan or profile (pass plan=/profile= or "
+                "construct with Metasystem(chaos=...))")
+        if isinstance(source, ChaosPlan):
+            built = source
+        else:
+            if isinstance(source, str):
+                config = PROFILES.get(source)
+                if config is None:
+                    raise LegionError(
+                        f"unknown chaos profile {source!r}; choose from "
+                        f"{sorted(PROFILES)}")
+                profile_name = source
+            elif isinstance(source, CampaignConfig):
+                config = source
+                profile_name = profile or "custom"
+            else:
+                raise LegionError(
+                    f"chaos source must be a profile name, "
+                    f"CampaignConfig, or ChaosPlan, got {type(source)}")
+            if horizon:
+                config = config.with_horizon(horizon)
+            built = generate_campaign(self, config, seed=chaos_seed,
+                                      profile=profile_name)
+        self.chaos = ChaosInjector(self, built).arm()
+        return self.chaos
+
+    def enable_retries(self, policy: Any = None, **kwargs) -> Any:
+        """Install the opt-in resilience layer: a shared RetryPolicy on
+        the transport (idempotent calls) and the Enactor (reservation
+        round).  Jitter draws from a dedicated seeded stream, keeping
+        retry-enabled runs deterministic."""
+        if policy is None:
+            from .chaos.retry import RetryPolicy
+            policy = RetryPolicy(rng=self.rngs.stream("chaos", "retry"),
+                                 **kwargs)
+        self.transport.retry_policy = policy
+        self.enactor.retry_policy = policy
+        return policy
 
     # ------------------------------------------------------------------
     # time control

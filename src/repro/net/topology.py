@@ -15,7 +15,7 @@ properties of that setting matter to the RMI and are modeled here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import NetworkError
 
@@ -114,6 +114,25 @@ class Topology:
 
     def node_up(self, loc: NetLocation) -> bool:
         return self.has_node(loc) and loc not in self._down_nodes
+
+    def partitions(self) -> List[Tuple[str, str]]:
+        """Currently-cut domain pairs, sorted for deterministic output."""
+        return sorted(tuple(sorted(p)) for p in self._partitions)
+
+    def down_nodes(self) -> List[NetLocation]:
+        """Currently-down nodes, sorted for deterministic output."""
+        return sorted(self._down_nodes, key=lambda l: (l.domain, l.node_id))
+
+    def clear_faults(self) -> int:
+        """Heal every partition and raise every down node.
+
+        Used by the chaos injector's teardown to guarantee the topology
+        leaves a campaign fault-free.  Returns the number of fault entries
+        cleared."""
+        cleared = len(self._partitions) + len(self._down_nodes)
+        self._partitions.clear()
+        self._down_nodes.clear()
+        return cleared
 
     def reachable(self, src: Optional[NetLocation],
                   dst: NetLocation) -> bool:

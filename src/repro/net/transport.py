@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import HostUnreachableError, MessageLostError
+from ..errors import HostUnreachableError, MessageLostError, NetworkError
 from ..obs.registry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from ..obs.spans import SpanTracer, TraceContext
 from ..sim.kernel import Simulator
@@ -62,6 +62,10 @@ class CallOutcome:
 class Transport:
     """Latency-charging invocation layer bound to one simulator."""
 
+    #: a lost message costs the sender this many request latencies before
+    #: the timeout fires (instances may override via ``loss_timeout_factor``)
+    LOSS_TIMEOUT_FACTOR = 4.0
+
     def __init__(self, sim: Simulator, topology: Topology,
                  latency_model: LatencyModel, rngs: RngRegistry,
                  tracer: Optional[Tracer] = None,
@@ -82,8 +86,53 @@ class Transport:
         self.spans = spans if spans is not None else SpanTracer(
             lambda: sim.now)
         self.loss_probability = loss_probability
+        self.loss_timeout_factor = self.LOSS_TIMEOUT_FACTOR
+        #: opt-in retry layer (duck-typed; see repro.chaos.retry.RetryPolicy)
+        self.retry_policy = None
+        # chaos hooks: additive spikes compose as max(base, spikes) and
+        # multiplicative factors as a product, so overlapping faults can
+        # revert in any order without clobbering each other's state.
+        self._loss_spikes: List[float] = []
+        self._latency_factors: List[float] = []
         self.messages_sent = 0
         self.messages_lost = 0
+        self.retries = 0
+
+    # -- chaos hooks ---------------------------------------------------------
+    def push_loss_spike(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("loss spike probability must be in [0, 1]")
+        self._loss_spikes.append(float(probability))
+
+    def pop_loss_spike(self, probability: float) -> None:
+        self._loss_spikes.remove(float(probability))
+
+    def push_latency_factor(self, factor: float) -> None:
+        if factor <= 0.0:
+            raise ValueError("latency factor must be positive")
+        self._latency_factors.append(float(factor))
+
+    def pop_latency_factor(self, factor: float) -> None:
+        self._latency_factors.remove(float(factor))
+
+    def clear_spikes(self) -> int:
+        """Drop all chaos spikes (injector teardown safety net)."""
+        n = len(self._loss_spikes) + len(self._latency_factors)
+        self._loss_spikes.clear()
+        self._latency_factors.clear()
+        return n
+
+    def effective_loss_probability(self) -> float:
+        if not self._loss_spikes:
+            return self.loss_probability
+        return max(self.loss_probability, max(self._loss_spikes))
+
+    def _sample_latency(self, src: Optional[NetLocation],
+                        dst: Optional[NetLocation]) -> float:
+        lat = self.latency_model.sample_latency(self.rng, src, dst)
+        for factor in self._latency_factors:
+            lat *= factor
+        return lat
 
     def _count_message(self, lost: bool = False) -> None:
         self.messages_sent += 1
@@ -99,15 +148,15 @@ class Transport:
         if not self.topology.reachable(src, dst):
             raise HostUnreachableError(f"{src} -> {dst} unreachable "
                                        f"({label})")
-        lost = (self.loss_probability > 0.0
-                and self._loss_rng.random() < self.loss_probability)
+        p = self.effective_loss_probability()
+        lost = p > 0.0 and self._loss_rng.random() < p
         self._count_message(lost=lost)
         if lost:
             # the sender still waits out a timeout before seeing the loss
-            lat = self.latency_model.sample_latency(self.rng, src, dst)
-            self.sim.run_until(self.sim.now + 4.0 * lat)
+            lat = self._sample_latency(src, dst)
+            self.sim.run_until(self.sim.now + self.loss_timeout_factor * lat)
             raise MessageLostError(f"message {src} -> {dst} lost ({label})")
-        lat = self.latency_model.sample_latency(self.rng, src, dst)
+        lat = self._sample_latency(src, dst)
         self.sim.run_until(self.sim.now + lat)
 
     def _reply_hop(self, src: Optional[NetLocation], dst: NetLocation,
@@ -124,8 +173,39 @@ class Transport:
 
     def invoke(self, src: Optional[NetLocation], dst: NetLocation,
                fn: Callable[..., Any], *args: Any,
-               label: str = "", **kwargs: Any) -> Any:
-        """Synchronous remote call: request hop, execute, reply hop."""
+               label: str = "", idempotent: bool = False,
+               **kwargs: Any) -> Any:
+        """Synchronous remote call: request hop, execute, reply hop.
+
+        When a :attr:`retry_policy` is installed and the caller marks the
+        call ``idempotent=True``, network failures are retried with seeded
+        backoff; without a policy (the default) the flag is a no-op, so
+        callers may tag idempotent calls unconditionally.
+        """
+        policy = self.retry_policy
+        if policy is None or not idempotent:
+            return self._invoke_once(src, dst, fn, *args, label=label,
+                                     **kwargs)
+        name = label or getattr(fn, "__name__", "call")
+        first_try = self.sim.now
+        attempt = 0
+        while True:
+            try:
+                return self._invoke_once(src, dst, fn, *args, label=label,
+                                         **kwargs)
+            except NetworkError as exc:
+                attempt += 1
+                delay = policy.next_delay(exc, attempt,
+                                          self.sim.now - first_try)
+                if delay is None:
+                    raise
+                self.retries += 1
+                self.metrics.count("transport_retries_total", label=name)
+                self.sim.run_until(self.sim.now + delay)
+
+    def _invoke_once(self, src: Optional[NetLocation], dst: NetLocation,
+                     fn: Callable[..., Any], *args: Any,
+                     label: str = "", **kwargs: Any) -> Any:
         t0 = self.sim.now
         name = label or getattr(fn, "__name__", "call")
         with self.spans.span_if_active(f"rpc:{name}", src=str(src),
@@ -154,6 +234,8 @@ class Transport:
                                        f"({label})")
         elapsed = self.latency_model.transfer_time(self.rng, nbytes, src,
                                                    dst)
+        for factor in self._latency_factors:
+            elapsed *= factor
         with self.spans.span_if_active(f"transfer:{label}", src=str(src),
                                        dst=str(dst), nbytes=nbytes):
             self._count_message()
@@ -202,19 +284,18 @@ class Transport:
                                           completed_at=start)
                 _failed_span(call, err)
                 continue
-            lost = (self.loss_probability > 0.0
-                    and self._loss_rng.random() < self.loss_probability)
+            p = self.effective_loss_probability()
+            lost = p > 0.0 and self._loss_rng.random() < p
             self._count_message(lost=lost)
             if lost:
-                lat = self.latency_model.sample_latency(
-                    self.rng, call.src, call.dst)
+                lat = self._sample_latency(call.src, call.dst)
                 err = MessageLostError(str(call.dst))
-                outcomes[i] = CallOutcome(False, error=err,
-                                          completed_at=start + 4.0 * lat)
+                outcomes[i] = CallOutcome(
+                    False, error=err,
+                    completed_at=start + self.loss_timeout_factor * lat)
                 _failed_span(call, err)
                 continue
-            lat = self.latency_model.sample_latency(
-                self.rng, call.src, call.dst)
+            lat = self._sample_latency(call.src, call.dst)
             arrivals.append((start + lat, i))
 
         completion = start
@@ -233,9 +314,9 @@ class Transport:
                         sp.set_status("error")
                         sp.set_attribute(
                             "error", f"{type(exc).__name__}: {exc}")
-            reply_lat = self.latency_model.sample_latency(
-                self.rng, call.dst, call.src) if call.src is not None else \
-                self.latency_model.sample_latency(self.rng, None, call.dst)
+            reply_lat = (self._sample_latency(call.dst, call.src)
+                         if call.src is not None
+                         else self._sample_latency(None, call.dst))
             self._count_message()
             done = self.sim.now + reply_lat
             if sp.end is not None:

@@ -234,6 +234,26 @@ class SpanTracer:
         with self.span(name, **attributes) as span:
             yield span
 
+    def record_span(self, name: str, start: float, end: float,
+                    status: str = "ok", **attributes: Any) -> Span:
+        """Record a completed, detached root span over ``[start, end]``.
+
+        Unlike :meth:`start_span` this never touches the context stack, so
+        daemons (e.g. the chaos injector annotating a fault window from a
+        scheduled callback) can emit spans without re-parenting whatever
+        request trace happens to be open.
+        """
+        self._trace_seq += 1
+        self._span_seq += 1
+        span = Span(trace_id=f"t{self._trace_seq:06d}",
+                    span_id=f"s{self._span_seq:06d}",
+                    parent_id=None, name=name,
+                    start=float(start), end=float(end),
+                    attributes=dict(attributes), status=status,
+                    seq=self._span_seq)
+        self.spans.append(span)
+        return span
+
     # -- flat-tracer bridge ---------------------------------------------------
     def event(self, category: str, event: str, **details: Any) -> None:
         """Attach a flat trace record to the innermost open span.
@@ -323,6 +343,10 @@ class NullSpanTracer(SpanTracer):
 
     def end_span(self, span: Span, status: Optional[str] = None) -> None:
         return
+
+    def record_span(self, name: str, start: float, end: float,
+                    status: str = "ok", **attributes: Any) -> Span:
+        return _NULL_SPAN
 
     def span(self, name: str, **attributes: Any):
         return self._null_cm()

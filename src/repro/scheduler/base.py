@@ -128,7 +128,8 @@ class Scheduler:
             if self.collection.location is not None:
                 results = self.transport.invoke(
                     self.location, self.collection.location,
-                    self.collection.query, query, label="QueryCollection")
+                    self.collection.query, query, label="QueryCollection",
+                    idempotent=True)
             else:
                 results = self.collection.query(query)
             sp.set_attribute("results", len(results))

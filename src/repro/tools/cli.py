@@ -16,6 +16,9 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim trace chrome --count 4 --out trace.json
    $ legion-sim run --shards 3 --replication 2 --count 4
    $ legion-sim federation --shards 3 --gossip-interval 30 --wait
+   $ legion-sim run --chaos-profile hosts --chaos-seed 7 --wait
+   $ legion-sim chaos --profile lossy --compare-retry
+   $ legion-sim chaos --profile mixed --retry --out report.json
 
 ``repro-cli`` is an alias of the same entry point.
 
@@ -30,6 +33,7 @@ import sys
 from typing import Optional, Sequence
 
 from ..bench.harness import ExperimentTable
+from ..errors import LegionError
 from ..metasystem import Metasystem
 from ..scheduler.base import ObjectClassRequest
 from ..workload.applications import wait_for_completion
@@ -52,7 +56,10 @@ def _build_meta(args: argparse.Namespace) -> Metasystem:
         federation_shards=args.shards,
         federation_replication=args.replication,
         gossip_interval=args.gossip_interval,
-        federation_cache_ttl=args.cache_ttl))
+        federation_cache_ttl=args.cache_ttl,
+        chaos_profile=getattr(args, "chaos_profile", ""),
+        chaos_seed=getattr(args, "chaos_seed", 0),
+        chaos_horizon=getattr(args, "chaos_horizon", 0.0)))
 
 
 def _add_testbed_args(parser: argparse.ArgumentParser) -> None:
@@ -149,6 +156,13 @@ def cmd_run(args: argparse.Namespace, out) -> int:
         n, t = wait_for_completion(meta, app, outcome.created)
         print(f"{n}/{len(outcome.created)} completed by virtual "
               f"t={t:.1f}s", file=out)
+    if meta.chaos is not None:
+        meta.chaos.teardown()
+        stats = meta.chaos.stats()
+        print(f"chaos: {sum(stats['injected'].values())} fault(s) "
+              f"injected, {stats['jobs_lost']} job(s) lost, "
+              f"{len(stats['residual_faults'])} residual after teardown",
+              file=out)
     if args.trace:
         from ..bench.sequence import protocol_trace
         print(file=out)
@@ -337,6 +351,53 @@ def cmd_federation(args: argparse.Namespace, out) -> int:
     return 0 if outcome.ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace, out) -> int:
+    """Run a seeded fault-injection campaign and report resilience."""
+    from ..chaos.campaign import run_campaign
+    kwargs = dict(profile=args.profile, chaos_seed=args.chaos_seed,
+                  seed=args.seed, scheduler=args.scheduler,
+                  waves=args.waves, per_wave=args.count, work=args.work,
+                  wave_interval=args.wave_interval,
+                  horizon=args.horizon or None,
+                  n_domains=args.domains,
+                  hosts_per_domain=args.hosts,
+                  platform_mix=args.platforms,
+                  background_load=args.load,
+                  shards=args.shards)
+    try:
+        if args.compare_retry:
+            reports = [run_campaign(retry=False, **kwargs),
+                       run_campaign(retry=True, **kwargs)]
+        else:
+            reports = [run_campaign(retry=args.retry, **kwargs)]
+    except LegionError as exc:
+        print(f"chaos error: {exc}", file=out)
+        return 2
+    for i, report in enumerate(reports):
+        if i:
+            print(file=out)
+        print(report.summary(), file=out)
+    if args.compare_retry:
+        base, with_retry = reports
+        print(file=out)
+        print(f"retry benefit: placement success "
+              f"{100.0 * base.placement_success_rate:.1f}% -> "
+              f"{100.0 * with_retry.placement_success_rate:.1f}%, "
+              f"completed {base.instances_completed} -> "
+              f"{with_retry.instances_completed}", file=out)
+    report = reports[-1]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"wrote ResilienceReport to {args.out}", file=out)
+    residual = max(len(r.residual_faults) for r in reports)
+    if residual:
+        print(f"ERROR: {residual} residual fault(s) survived teardown",
+              file=out)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="legion-sim",
@@ -375,6 +436,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default="", metavar="FILE",
                    help="export span traces to FILE (Chrome trace-event "
                         "JSON; a .jsonl suffix dumps one span per line)")
+    p.add_argument("--chaos-profile", default="",
+                   help="arm a fault-injection campaign over the run "
+                        "(light | hosts | partitions | lossy | mixed | "
+                        "heavy)")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="campaign seed (independent of --seed)")
+    p.add_argument("--chaos-horizon", type=float, default=0.0,
+                   help="stop injecting after this much virtual time "
+                        "(default: profile horizon)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("metrics",
@@ -424,6 +494,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wait", action="store_true",
                    help="advance virtual time until completion")
     p.set_defaults(fn=cmd_federation)
+
+    p = sub.add_parser("chaos",
+                       help="run a seeded fault-injection campaign and "
+                            "report survival statistics")
+    _add_testbed_args(p)
+    p.add_argument("--profile", default="mixed",
+                   help="campaign profile: light | hosts | partitions | "
+                        "lossy | mixed | heavy (default mixed)")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="campaign seed (independent of --seed)")
+    p.add_argument("--waves", type=int, default=6,
+                   help="placement waves to attempt (default 6)")
+    p.add_argument("--count", type=int, default=4,
+                   help="instances requested per wave (default 4)")
+    p.add_argument("--work", type=float, default=250.0)
+    p.add_argument("--wave-interval", type=float, default=90.0,
+                   help="virtual seconds between waves (default 90)")
+    p.add_argument("--horizon", type=float, default=0.0,
+                   help="campaign horizon override in virtual seconds")
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn")
+    p.add_argument("--retry", action="store_true",
+                   help="enable the RetryPolicy resilience layer")
+    p.add_argument("--compare-retry", action="store_true",
+                   help="run the identical campaign retry-off then "
+                        "retry-on and print both survival rates")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the ResilienceReport JSON to FILE")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("bench", help="compare schedulers on one workload")
     _add_testbed_args(p)

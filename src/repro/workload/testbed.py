@@ -74,6 +74,13 @@ class TestbedSpec:
     gossip_interval: float = 0.0
     #: router-side query cache TTL in virtual seconds (0 disables)
     federation_cache_ttl: float = 0.0
+    #: arm a chaos campaign over the built testbed ("" disables); a name
+    #: from :data:`repro.chaos.plan.PROFILES`
+    chaos_profile: str = ""
+    #: campaign seed (independent of the testbed seed)
+    chaos_seed: int = 0
+    #: campaign horizon override in virtual seconds (0 = profile default)
+    chaos_horizon: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_domains < 1 or self.hosts_per_domain < 1:
@@ -130,6 +137,10 @@ def build_testbed(spec: Optional[TestbedSpec] = None, **kwargs) -> Metasystem:
         if kind:
             meta.add_batch_host(f"{domain}-cluster", domain,
                                 queue_kind=kind, nodes=spec.batch_nodes)
+    if spec.chaos_profile:
+        meta.start_chaos(profile=spec.chaos_profile,
+                         chaos_seed=spec.chaos_seed,
+                         horizon=spec.chaos_horizon or None)
     return meta
 
 
