@@ -31,6 +31,7 @@ def run_campaign(profile: str = "mixed",
                  wave_interval: float = 90.0,
                  horizon: Optional[float] = None,
                  retry: bool = False,
+                 guardrails: bool = False,
                  n_domains: int = 3,
                  hosts_per_domain: int = 6,
                  platform_mix: int = 3,
@@ -42,9 +43,11 @@ def run_campaign(profile: str = "mixed",
     """Run one seeded campaign and return its ResilienceReport.
 
     ``retry`` flips the resilience layer
-    (:meth:`~repro.metasystem.Metasystem.enable_retries`) — the fault
-    timeline is identical either way, so retry-on vs. retry-off runs
-    measure the policy, not different luck.  Pass a prebuilt ``meta``
+    (:meth:`~repro.metasystem.Metasystem.enable_retries`) and
+    ``guardrails`` the failure-detection layer
+    (:meth:`~repro.metasystem.Metasystem.enable_guardrails`) — the
+    fault timeline is identical either way, so flipping either knob
+    measures the policy, not different luck.  Pass a prebuilt ``meta``
     to reuse a custom testbed (it must not have chaos started yet).
     """
     from ..scheduler.base import ObjectClassRequest
@@ -69,6 +72,8 @@ def run_campaign(profile: str = "mixed",
             meta.place_federation()
     if horizon is None:
         horizon = waves * wave_interval
+    if guardrails:
+        meta.enable_guardrails()
     if retry:
         meta.enable_retries()
     injector = meta.start_chaos(profile=profile, chaos_seed=chaos_seed,
@@ -81,7 +86,8 @@ def run_campaign(profile: str = "mixed",
 
     report = ResilienceReport(
         profile=profile, chaos_seed=chaos_seed, testbed_seed=seed,
-        scheduler=scheduler, retry_enabled=retry, horizon=horizon,
+        scheduler=scheduler, retry_enabled=retry,
+        guardrails_enabled=guardrails, horizon=horizon,
         waves=waves, per_wave=per_wave,
         instances_requested=waves * per_wave)
 
@@ -122,6 +128,15 @@ def run_campaign(profile: str = "mixed",
     report.work_lost = stats["work_lost"]
     report.transport_retries = meta.transport.retries
     report.reservation_retries = meta.enactor.stats.reservation_retries
+    # counted in every mode — the benchmark's comparison metric
+    report.wasted_reservation_attempts = \
+        meta.enactor.stats.wasted_reservation_attempts
+    report.load_shed = meta.enactor.stats.load_shed
+    if meta.guardrails is not None:
+        report.breaker_opens = meta.guardrails.board.total_opens()
+        report.breaker_fast_fails = meta.guardrails.board.total_fast_fails()
+        report.health_transitions = meta.guardrails.monitor.transitions
+        report.admission_rejections = meta.guardrails.admission.rejections
     report.faults_planned = stats["planned"]
     report.faults_injected = stats["injected"]
     report.faults_reverted = stats["reverted"]

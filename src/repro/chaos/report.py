@@ -46,6 +46,16 @@ class ResilienceReport:
     transport_retries: int = 0
     reservation_retries: int = 0
 
+    # guardrails machinery (PR 5); wasted_reservation_attempts is counted
+    # in every mode — it is the benchmark's comparison metric
+    guardrails_enabled: bool = False
+    wasted_reservation_attempts: int = 0
+    load_shed: int = 0
+    breaker_opens: int = 0
+    breaker_fast_fails: int = 0
+    health_transitions: int = 0
+    admission_rejections: int = 0
+
     # fault accounting (from ChaosInjector.stats())
     faults_planned: int = 0
     faults_injected: Dict[str, int] = field(default_factory=dict)
@@ -93,6 +103,16 @@ class ResilienceReport:
                 "transport": self.transport_retries,
                 "reservation": self.reservation_retries,
             },
+            "guardrails": {
+                "enabled": self.guardrails_enabled,
+                "wasted_reservation_attempts":
+                    self.wasted_reservation_attempts,
+                "load_shed": self.load_shed,
+                "breaker_opens": self.breaker_opens,
+                "breaker_fast_fails": self.breaker_fast_fails,
+                "health_transitions": self.health_transitions,
+                "admission_rejections": self.admission_rejections,
+            },
             "faults": {
                 "planned": self.faults_planned,
                 "injected": dict(sorted(self.faults_injected.items())),
@@ -132,6 +152,11 @@ class ResilienceReport:
             f"({self.work_lost:.0f} work units)",
             f"  retries            transport {self.transport_retries}, "
             f"reservation {self.reservation_retries}",
+            f"  guardrails         "
+            f"{'on' if self.guardrails_enabled else 'off'}: "
+            f"{self.wasted_reservation_attempts} wasted reservation(s), "
+            f"{self.load_shed} shed, {self.breaker_opens} breaker open(s), "
+            f"{self.breaker_fast_fails} fast-fail(s)",
             f"  MTTR               mean {self.mttr_mean:.1f}s, "
             f"max {self.mttr_max:.1f}s",
         ]

@@ -70,6 +70,19 @@ class RetryPolicy:
 
     # -- classification -----------------------------------------------------
     def is_retryable(self, exc: BaseException) -> bool:
+        """Generic flag-driven classification.
+
+        An instance-level ``retryable`` attribute is authoritative in
+        both directions — ``exc.retryable = False`` set on a single
+        raised error vetoes retries even for a class whose default is
+        retryable, and the ``retry_unreachable`` escape hatch never
+        overrides an explicit veto (so a
+        :class:`~repro.errors.CircuitOpenError` always fails fast).
+        """
+        override = exc.__dict__.get("retryable") if hasattr(exc, "__dict__") \
+            else None
+        if override is not None:
+            return bool(override)
         if getattr(exc, "retryable", False):
             return True
         if self.retry_unreachable:

@@ -111,6 +111,10 @@ class Collection(LegionObject):
         #: span tracer (wired by the Metasystem; inert by default)
         self.spans = NULL_SPANS
         self._records: Dict[LOID, CollectionRecord] = {}
+        #: guardrails knob: when True, records whose ``host_health``
+        #: attribute says "down" are invisible to queries (the HealthMonitor
+        #: publishes that attribute; see repro.guardrails.health)
+        self.exclude_down_members = False
         self._secret = os.urandom(16)
         self.functions = QueryFunctions()
         self._computed: Dict[str, Callable[[Mapping], Any]] = {}
@@ -193,12 +197,23 @@ class Collection(LegionObject):
                                        path="scan") as sp:
             for member in sorted(self._records):
                 record = self._records[member]
+                if self._quarantined(record):
+                    continue
                 view = _RecordView(record, self._computed)
                 if matches(ast, view, self.functions):
                     out.append(record)
             sp.set_attribute("results", len(out))
         self._record_query_metrics("scan", len(self._records), len(out))
         return out
+
+    def _quarantined(self, record: CollectionRecord) -> bool:
+        """Should this record be hidden from query results?
+
+        Shared by the scan path above and the index path in
+        :class:`~repro.collection.indexing.IndexedCollection` so both
+        honor the guardrails quarantine."""
+        return (self.exclude_down_members
+                and record.attributes.get("host_health") == "down")
 
     def _record_query_metrics(self, path: str, candidates: int,
                               results: int) -> None:

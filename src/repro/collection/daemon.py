@@ -10,7 +10,7 @@ staleness (experiment E6 compares push / pull / daemon freshness).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, List, Optional, Sequence
 
 from ..sim.kernel import Simulator
 from .collection import Collection
@@ -23,7 +23,7 @@ class DataCollectionDaemon:
 
     def __init__(self, sim: Simulator, collections: Sequence[Collection],
                  interval: float = 60.0, jitter: float = 0.0,
-                 rng=None):
+                 rng=None, metrics: Any = None):
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim
@@ -31,8 +31,13 @@ class DataCollectionDaemon:
         self.interval = interval
         self.jitter = jitter
         self._rng = rng
+        self.metrics = metrics
         self._sources: List = []
         self._credentials = {}
+        #: optional guardrails hookup (see attach_health)
+        self._health = None
+        self._evict_after: Optional[float] = None
+        self.evictions = 0
         self.sweeps = 0
         self._running = False
 
@@ -43,9 +48,48 @@ class DataCollectionDaemon:
             self._credentials[(id(coll), source.loid)] = coll.join(
                 source.loid, source.attributes.snapshot())
 
+    def attach_health(self, monitor: Any,
+                      evict_after: Optional[float] = None) -> None:
+        """Make sweeps health-aware (guardrails).
+
+        Sources the monitor classifies DOWN are skipped (their stale
+        snapshot must not overwrite the quarantine marker), and once a
+        source has been DOWN longer than ``evict_after`` virtual seconds
+        its records are evicted from every Collection so dead hosts stop
+        polluting query results.  Eviction drops the cached credential,
+        so a recovered source is re-joined on its next sweep.
+        """
+        if evict_after is not None and evict_after <= 0:
+            raise ValueError("evict_after must be positive")
+        self._health = monitor
+        self._evict_after = evict_after
+
+    def _evict(self, source) -> None:
+        for coll in self.collections:
+            cred = self._credentials.pop((id(coll), source.loid), None)
+            try:
+                coll.leave(source.loid, cred)
+            except Exception:
+                # already gone (or unauthenticated tombstone) — the point
+                # is that the record no longer answers queries
+                continue
+        self.evictions += 1
+        if self.metrics is not None:
+            self.metrics.count("collection_evictions_total")
+
     def sweep(self) -> None:
         """One pull-all/push-all pass."""
+        down = 0
         for source in self._sources:
+            if self._health is not None:
+                state = self._health.state_of(source.loid)
+                if state == "down":
+                    down += 1
+                    since = self._health.down_since(source.loid)
+                    if (self._evict_after is not None and since is not None
+                            and self.sim.now - since >= self._evict_after):
+                        self._evict(source)
+                    continue
             snapshot = source.attributes.snapshot()
             for coll in self.collections:
                 cred = self._credentials.get((id(coll), source.loid))
@@ -54,6 +98,8 @@ class DataCollectionDaemon:
                     self._credentials[(id(coll), source.loid)] = cred
                 else:
                     coll.update_entry(source.loid, snapshot, cred)
+        if self.metrics is not None:
+            self.metrics.set_gauge("collection_down_members", down)
         self.sweeps += 1
 
     def start(self) -> None:

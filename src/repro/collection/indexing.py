@@ -186,7 +186,7 @@ class IndexedCollection(Collection):
                                        path="index") as sp:
             for member in candidates:
                 record = self._records.get(member)
-                if record is None:
+                if record is None or self._quarantined(record):
                     continue
                 view = _RecordView(record, self._computed)
                 if matches(ast, view, self.functions):

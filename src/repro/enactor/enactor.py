@@ -81,6 +81,13 @@ class EnactorStats:
     enact_failures: int = 0
     #: re-issued reservation requests driven by the opt-in retry policy
     reservation_retries: int = 0
+    #: reservation requests issued to hosts whose machine was down at
+    #: issue time — the "wasted rounds" the guardrails layer shaves off
+    #: (counted in every mode, guardrails or not, for the benchmark)
+    wasted_reservation_attempts: int = 0
+    #: entries skipped before issue because the health monitor classified
+    #: the host SUSPECT/DOWN (guardrails load shedding)
+    load_shed: int = 0
 
 
 @dataclass
@@ -144,6 +151,12 @@ class Enactor:
         #: opt-in retry layer for transient reservation failures
         #: (duck-typed; see repro.chaos.retry.RetryPolicy)
         self.retry_policy = None
+        #: opt-in health source for load shedding (duck-typed; see
+        #: repro.guardrails.health.HealthMonitor)
+        self.health = None
+        #: shed SUSPECT hosts too (only when fallback schedules remain);
+        #: DOWN hosts are always shed while a health source is installed
+        self.shed_suspect = True
         self.stats = EnactorStats()
         self._cancelled_targets: set = set()
 
@@ -198,10 +211,49 @@ class Enactor:
             failure_detail=detail,
             entry_errors=last_errors)
 
+    def _shed(self, indexed: List[Tuple[int, ScheduleMapping]],
+              have_fallback: bool
+              ) -> Tuple[List[Tuple[int, ScheduleMapping]],
+                         List[ReservationOutcome]]:
+        """Drop entries whose host the HealthMonitor has quarantined.
+
+        DOWN hosts are always skipped; SUSPECT hosts only when fallback
+        schedules remain (``have_fallback``), so a last-ditch attempt
+        still gets to try a merely-suspect host."""
+        if self.health is None:
+            return list(indexed), []
+        kept: List[Tuple[int, ScheduleMapping]] = []
+        shed: List[ReservationOutcome] = []
+        for idx, mapping in indexed:
+            state = self.health.state_of(mapping.host_loid)
+            if state == "down" or (state == "suspect" and have_fallback
+                                   and self.shed_suspect):
+                shed.append(ReservationOutcome(
+                    index=idx, mapping=mapping,
+                    error=f"shed: host {state}"))
+                self.stats.load_shed += 1
+                self.metrics.count("guardrail_load_shed_total", state=state)
+            else:
+                kept.append((idx, mapping))
+        return kept, shed
+
+    def _count_wasted(self,
+                      indexed: List[Tuple[int, ScheduleMapping]]) -> None:
+        """Benchmark ground truth: requests issued to machines that are
+        down *right now* are wasted rounds (counted in every mode)."""
+        for _idx, mapping in indexed:
+            host = self.resolver(mapping.host_loid)
+            if host is not None and not host.machine.up:
+                self.stats.wasted_reservation_attempts += 1
+                self.metrics.count("guardrail_wasted_reservations_total")
+
     def _reserve(self, indexed: List[Tuple[int, ScheduleMapping]],
                  rtype: ReservationType, duration: float,
-                 start_time: float, timeout: float
+                 start_time: float, timeout: float,
+                 have_fallback: bool = False
                  ) -> List[ReservationOutcome]:
+        indexed, shed = self._shed(indexed, have_fallback)
+        self._count_wasted(indexed)
         with self.spans.span_if_active("enactor.reserve", step="5",
                                        entries=len(indexed)):
             with self.metrics.time("enactor_step_seconds", step="reserve"):
@@ -210,6 +262,7 @@ class Enactor:
                     start_time=start_time, timeout=timeout)
                 outcomes = self._retry_failed(outcomes, rtype, duration,
                                               start_time, timeout)
+        outcomes.extend(shed)
         self.stats.reservation_requests += len(indexed)
         self.metrics.count("enactor_reservation_requests_total",
                            len(indexed))
@@ -251,6 +304,7 @@ class Enactor:
             self.metrics.count("enactor_reservation_retries_total",
                                len(failed))
             self.transport.sim.run_until(self.transport.sim.now + delay)
+            self._count_wasted([(o.index, o.mapping) for _, o in failed])
             redo = self.coallocator.reserve_batch(
                 [(o.index, o.mapping) for _, o in failed],
                 rtype=rtype, duration=duration,
@@ -281,8 +335,10 @@ class Enactor:
         holdings: Dict[int, _Holding] = {}
         errors: Dict[int, str] = {}
 
-        outcomes = self._reserve(indexed, rtype, duration, start_time,
-                                 timeout)
+        outcomes = self._reserve(
+            indexed, rtype, duration, start_time, timeout,
+            have_fallback=bool(master.variants)
+            or master.required_k is not None)
         for o in outcomes:
             if o.ok:
                 holdings[o.index] = _Holding(o.mapping, o.token)

@@ -73,6 +73,20 @@ class RPCError(NetworkError):
     """A remote method invocation failed at the callee."""
 
 
+class CircuitOpenError(NetworkError):
+    """A per-destination circuit breaker refused the call without sending.
+
+    Deliberately **not** a subclass of :class:`HostUnreachableError`: the
+    breaker is a *local* judgement that the destination has been failing,
+    and the ``retry_unreachable`` knob must not resurrect it.  Not
+    retryable — the whole point of the breaker is to fail fast instead of
+    burning the retry budget against a destination known to be sick; the
+    half-open probe (not the caller) decides when to try again.
+    """
+
+    retryable = False
+
+
 # ---------------------------------------------------------------------------
 # Naming / object runtime
 # ---------------------------------------------------------------------------
@@ -119,6 +133,19 @@ class ReservationError(ResourceError):
 
 class ReservationDeniedError(ReservationError):
     """The Host refused to grant the requested reservation."""
+
+
+class AdmissionRejected(ReservationDeniedError):
+    """Load-aware site-autonomy refusal: the Host's admission controller
+    turned the request away before it reached the reservation table —
+    its pending-reservation queue is full or the machine is saturated.
+
+    Table 1's "accept/reject" made load-aware.  Not retryable: an
+    immediate retry lands on the same overloaded host; the Enactor
+    should fall back to a variant schedule instead.
+    """
+
+    retryable = False
 
 
 class InvalidReservationError(ReservationError):

@@ -405,6 +405,20 @@ class FederatedCollection:
     def query_loids(self, query: str) -> List[LOID]:
         return [r.member for r in self.query(query)]
 
+    # -- guardrails -----------------------------------------------------------
+    @property
+    def exclude_down_members(self) -> bool:
+        """Quarantine filter state (see Collection.exclude_down_members).
+
+        Shards hold plain Collections, so the filter is applied where the
+        records live — the scatter-gather merge never sees a DOWN record."""
+        return all(s.collection.exclude_down_members for s in self.shards)
+
+    @exclude_down_members.setter
+    def exclude_down_members(self, value: bool) -> None:
+        for shard in self.shards:
+            shard.collection.exclude_down_members = bool(value)
+
     # -- function injection ---------------------------------------------------
     def inject_function(self, name: str, fn: Callable) -> None:
         for shard in self.shards:

@@ -1,0 +1,138 @@
+"""Three-way guardrails benchmark: off vs. retries-only vs. guardrails+retries.
+
+Runs the *same* seeded chaos campaign three times — identical testbed
+seed, identical fault timeline — flipping only the resilience layer:
+
+* ``off``        — no retries, no guardrails (the PR 3 baseline)
+* ``retries``    — RetryPolicy only (the PR 4 resilience layer)
+* ``guardrails`` — guardrails + retries (this subsystem)
+
+and reports survival alongside **wasted reservation attempts**
+(reservations issued to hosts that were DOWN at issue time).  Retries
+buy survival by paying extra rounds against dead hosts; guardrails keep
+the survival while routing those rounds to live ones.  The JSON export
+is the ``BENCH_guardrails.json`` resilience-trajectory datapoint and is
+byte-stable for fixed seeds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..chaos.report import ResilienceReport
+
+__all__ = ["MODES", "GuardrailsComparison", "run_comparison"]
+
+#: benchmark modes in escalation order
+MODES = ("off", "retries", "guardrails")
+
+
+@dataclass
+class GuardrailsComparison:
+    """Reports for all three modes plus the derived benefit deltas."""
+
+    profile: str = ""
+    chaos_seed: int = 0
+    testbed_seed: int = 0
+    reports: Dict[str, ResilienceReport] = field(default_factory=dict)
+
+    # -- derived -----------------------------------------------------------
+    def survival(self, mode: str) -> float:
+        return self.reports[mode].placement_success_rate
+
+    def wasted(self, mode: str) -> int:
+        return self.reports[mode].wasted_reservation_attempts
+
+    @property
+    def survival_delta(self) -> float:
+        """guardrails+retries survival minus retries-only survival."""
+        return self.survival("guardrails") - self.survival("retries")
+
+    @property
+    def wasted_delta(self) -> int:
+        """wasted attempts saved by guardrails vs. retries-only."""
+        return self.wasted("retries") - self.wasted("guardrails")
+
+    @property
+    def guardrails_improve(self) -> bool:
+        """The acceptance-criterion predicate: survival no worse AND
+        strictly fewer wasted reservation attempts."""
+        return self.survival_delta >= 0 and self.wasted_delta > 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "profile": self.profile,
+            "chaos_seed": self.chaos_seed,
+            "testbed_seed": self.testbed_seed,
+            "modes": {mode: self.reports[mode].to_dict()
+                      for mode in MODES if mode in self.reports},
+            "benefit": {
+                "survival_off": self.survival("off"),
+                "survival_retries": self.survival("retries"),
+                "survival_guardrails": self.survival("guardrails"),
+                "survival_delta": self.survival_delta,
+                "wasted_off": self.wasted("off"),
+                "wasted_retries": self.wasted("retries"),
+                "wasted_guardrails": self.wasted("guardrails"),
+                "wasted_delta": self.wasted_delta,
+                "guardrails_improve": self.guardrails_improve,
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        lines = [
+            f"guardrails benchmark {self.profile!r} "
+            f"(chaos-seed {self.chaos_seed}, testbed-seed "
+            f"{self.testbed_seed})",
+            f"  {'mode':<12} {'survival':>9} {'wasted':>7} "
+            f"{'shed':>5} {'opens':>6} {'retries':>8} {'completed':>10}",
+        ]
+        for mode in MODES:
+            if mode not in self.reports:
+                continue
+            rep = self.reports[mode]
+            lines.append(
+                f"  {mode:<12} {100.0 * rep.placement_success_rate:>8.1f}% "
+                f"{rep.wasted_reservation_attempts:>7} "
+                f"{rep.load_shed:>5} "
+                f"{rep.breaker_opens:>6} "
+                f"{rep.transport_retries + rep.reservation_retries:>8} "
+                f"{rep.instances_completed:>10}")
+        lines.append(
+            f"  benefit: survival {self.survival_delta:+.3f} vs retries, "
+            f"wasted attempts {-self.wasted_delta:+d} "
+            f"({'improves' if self.guardrails_improve else 'NO IMPROVEMENT'})")
+        return "\n".join(lines)
+
+
+def run_comparison(profile: str = "hosts",
+                   chaos_seed: int = 0,
+                   seed: int = 0,
+                   include_events: bool = False,
+                   **campaign_kwargs: Any) -> GuardrailsComparison:
+    """Run the off / retries-only / guardrails+retries triple.
+
+    All three campaigns share every seed, so the fault timelines are
+    identical and the comparison measures the policy, not the luck.
+    Extra keyword arguments flow through to
+    :func:`~repro.chaos.campaign.run_campaign`.
+    """
+    from ..chaos.campaign import run_campaign
+
+    flags = {"off": (False, False),
+             "retries": (True, False),
+             "guardrails": (True, True)}
+    comparison = GuardrailsComparison(
+        profile=profile, chaos_seed=chaos_seed, testbed_seed=seed)
+    for mode in MODES:
+        retry, guardrails = flags[mode]
+        comparison.reports[mode] = run_campaign(
+            profile=profile, chaos_seed=chaos_seed, seed=seed,
+            retry=retry, guardrails=guardrails,
+            include_events=include_events, **campaign_kwargs)
+    return comparison

@@ -96,6 +96,9 @@ class HostObject(LegionObject):
         self._compatible_vaults: List[LOID] = list(compatible_vaults or [])
         self.reservations = ReservationTable(
             loid, secret=os.urandom(16), slots=self.slots)
+        #: opt-in load-aware admission control (duck-typed; see
+        #: repro.guardrails.admission.AdmissionController)
+        self.admission = None
         self.placed: Dict[LOID, PlacedObject] = {}
         self.reassess_interval = reassess_interval
         self._push_targets: List[Callable[["HostObject", float], None]] = []
@@ -170,6 +173,9 @@ class HostObject(LegionObject):
         now = self.sim.now if now is None else now
         if not self.machine.up:
             raise ReservationDeniedError(f"host {self.loid}: machine down")
+        if self.admission is not None:
+            # load-aware site autonomy: refuse before touching the ledger
+            self.admission.check(self, now)
         if not self.vault_ok(vault_loid):
             raise VaultIncompatibleError(
                 f"host {self.loid}: vault {vault_loid} not reachable")
@@ -401,6 +407,11 @@ class HostObject(LegionObject):
             "compatible_vaults": [str(v) for v in self._compatible_vaults],
         }, now=now)
         self.reassessments += 1
+        # sweep the reservation ledger so long campaigns don't grow it
+        # unboundedly (expired/cancelled entries are dead weight)
+        purged = self.reservations.purge(now)
+        if purged:
+            self.metrics.count("host_reservations_purged_total", purged)
         self.rge.poll(now, host=str(self.loid),
                       load=self.machine.load_average)
         for push in list(self._push_targets):

@@ -269,6 +269,13 @@ class ReservationTable:
         return sum(1 for e in self._live_entries(now)
                    if e.token.window()[0] <= t < e.token.window()[1])
 
+    def pending_count(self, now: float) -> int:
+        """Live grants not yet presented to any StartObject call.
+
+        These are outstanding promises of future capacity — the queue the
+        admission controller bounds."""
+        return sum(1 for e in self._live_entries(now) if e.redeemed == 0)
+
     def purge(self, now: float) -> int:
         """Drop expired/cancelled entries; returns the number removed."""
         dead = [tid for tid, e in self._entries.items()

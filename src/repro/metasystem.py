@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 from .collection.collection import Collection, Credential
 from .collection.daemon import DataCollectionDaemon
 from .enactor.enactor import Enactor
-from .errors import LegionError, UnknownObjectError
+from .errors import LegionError, NotAMemberError, UnknownObjectError
 from .federation.ring import ConsistentHashRing
 from .federation.router import FederatedCollection, FederationConfig
 from .federation.shard import CollectionShard
@@ -96,7 +96,8 @@ class Metasystem:
                  trace_max_records: Optional[int] = None,
                  tracing: str = "spans",
                  federation: Any = None,
-                 chaos: Any = None):
+                 chaos: Any = None,
+                 guardrails: Any = None):
         if tracing not in ("off", "flat", "spans"):
             raise ValueError(
                 f"tracing must be 'off', 'flat' or 'spans', got {tracing!r}")
@@ -180,6 +181,16 @@ class Metasystem:
         # the topology's target universe
         self.chaos_config = chaos
         self.chaos: Optional[Any] = None
+
+        # the guardrails knob: True enables the self-healing layer with
+        # defaults, or pass a GuardrailConfig; hosts added later are
+        # wired automatically by _wire_host
+        self.guardrails: Optional[Any] = None
+        if guardrails:
+            if guardrails is True:
+                self.enable_guardrails()
+            else:
+                self.enable_guardrails(config=guardrails)
 
     # ------------------------------------------------------------------
     # federation
@@ -306,9 +317,18 @@ class Metasystem:
         if push_to_collection:
             def push(h: HostObject, now: float,
                      cred: Credential = credential) -> None:
-                self.collection.update_entry(h.loid,
-                                             h.attributes.snapshot(), cred)
+                try:
+                    self.collection.update_entry(
+                        h.loid, h.attributes.snapshot(), cred)
+                except NotAMemberError:
+                    # the health-aware daemon evicted the record while the
+                    # host was DOWN — recovery re-joins (credentials are
+                    # deterministic per member, so ``cred`` stays valid)
+                    self.collection.join(h.loid, h.attributes.snapshot())
             host.add_push_target(push)
+        if self.guardrails is not None:
+            host.admission = self.guardrails.admission
+            self.guardrails.monitor.watch(host, credential)
         host.start_periodic_reassessment()
 
     def add_unix_host(self, name: str, domain: str,
@@ -485,10 +505,20 @@ class Metasystem:
                    rng=rng, **kwargs)
 
     def make_daemon(self, interval: float = 60.0,
-                    watch_hosts: bool = True) -> DataCollectionDaemon:
+                    watch_hosts: bool = True,
+                    evict_down_after: Optional[float] = None
+                    ) -> DataCollectionDaemon:
         daemon = DataCollectionDaemon(
             self.sim, [self.collection], interval=interval,
-            rng=self.rngs.stream("daemon"))
+            rng=self.rngs.stream("daemon"), metrics=self.metrics)
+        if self.guardrails is not None:
+            # health-aware sweeps: skip DOWN sources and evict their
+            # records once DOWN longer than the horizon (default: twice
+            # the monitor's down_after threshold)
+            horizon = (evict_down_after if evict_down_after is not None
+                       else 2.0 * self.guardrails.config.down_after)
+            daemon.attach_health(self.guardrails.monitor,
+                                 evict_after=horizon)
         if watch_hosts:
             for host in self.hosts:
                 daemon.watch(host)
@@ -552,6 +582,66 @@ class Metasystem:
                                       profile=profile_name)
         self.chaos = ChaosInjector(self, built).arm()
         return self.chaos
+
+    def enable_guardrails(self, config: Any = None, **kwargs) -> Any:
+        """Install the self-healing layer (detect → quarantine → route
+        around → probe → recover):
+
+        * a :class:`~repro.guardrails.health.HealthMonitor` classifying
+          hosts LIVE/SUSPECT/DOWN and publishing ``host_health`` into
+          Collection records,
+        * per-destination circuit breakers on the transport,
+        * a shared load-aware admission controller on every Host Object,
+        * query-time exclusion of DOWN records in the Collection (and
+          every federation shard), plus Enactor-side load shedding.
+
+        Idempotent — a second call returns the existing suite.  The layer
+        draws no random numbers, so enabling it never perturbs the seeded
+        streams of an existing scenario.  Keyword overrides build a
+        :class:`~repro.guardrails.config.GuardrailConfig`.
+        """
+        from .guardrails import (
+            AdmissionController,
+            BreakerBoard,
+            GuardrailConfig,
+            GuardrailSuite,
+            HealthMonitor,
+        )
+        if self.guardrails is not None:
+            return self.guardrails
+        if config is None:
+            config = GuardrailConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either config= or keyword overrides, "
+                             "not both")
+        monitor = HealthMonitor(
+            self.sim, self.collection,
+            interval=config.health_interval,
+            suspect_after=config.suspect_after,
+            down_after=config.down_after,
+            fail_suspect=config.fail_suspect,
+            fail_down=config.fail_down,
+            metrics=self.metrics, spans=self.spans)
+        board = BreakerBoard(
+            lambda: self.sim.now,
+            failure_threshold=config.breaker_failure_threshold,
+            cooldown=config.breaker_cooldown,
+            metrics=self.metrics, spans=self.spans,
+            listener=monitor.note_outcome)
+        admission = AdmissionController(
+            max_pending=config.admission_max_pending,
+            load_limit=config.admission_load_limit,
+            metrics=self.metrics)
+        self.transport.breakers = board
+        self.enactor.health = monitor
+        self.enactor.shed_suspect = config.shed_suspect
+        self.collection.exclude_down_members = True
+        for host in self.hosts:
+            host.admission = admission
+            monitor.watch(host, self._host_credentials.get(host.loid))
+        monitor.start()
+        self.guardrails = GuardrailSuite(config, monitor, board, admission)
+        return self.guardrails
 
     def enable_retries(self, policy: Any = None, **kwargs) -> Any:
         """Install the opt-in resilience layer: a shared RetryPolicy on

@@ -23,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import HostUnreachableError, MessageLostError, NetworkError
+from ..errors import (
+    CircuitOpenError,
+    HostUnreachableError,
+    MessageLostError,
+    NetworkError,
+)
 from ..obs.registry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from ..obs.spans import SpanTracer, TraceContext
 from ..sim.kernel import Simulator
@@ -89,6 +94,9 @@ class Transport:
         self.loss_timeout_factor = self.LOSS_TIMEOUT_FACTOR
         #: opt-in retry layer (duck-typed; see repro.chaos.retry.RetryPolicy)
         self.retry_policy = None
+        #: opt-in per-destination circuit breakers (duck-typed; see
+        #: repro.guardrails.breaker.BreakerBoard)
+        self.breakers = None
         # chaos hooks: additive spikes compose as max(base, spikes) and
         # multiplicative factors as a product, so overlapping faults can
         # revert in any order without clobbering each other's state.
@@ -206,17 +214,41 @@ class Transport:
     def _invoke_once(self, src: Optional[NetLocation], dst: NetLocation,
                      fn: Callable[..., Any], *args: Any,
                      label: str = "", **kwargs: Any) -> Any:
+        breakers = self.breakers
+        if breakers is not None:
+            # fail fast before charging any hop; CircuitOpenError is
+            # non-retryable so a RetryPolicy gives up immediately
+            breakers.check(dst)
         t0 = self.sim.now
         name = label or getattr(fn, "__name__", "call")
-        with self.spans.span_if_active(f"rpc:{name}", src=str(src),
-                                       dst=str(dst)):
-            self._one_way(src, dst, name)
-            try:
-                result = fn(*args, **kwargs)
-            except Exception:
-                self._reply_hop(src, dst, "error-reply")
-                raise
-            self._reply_hop(src, dst, "reply")
+        callee_error: Optional[Exception] = None
+        try:
+            with self.spans.span_if_active(f"rpc:{name}", src=str(src),
+                                           dst=str(dst)):
+                self._one_way(src, dst, name)
+                try:
+                    result = fn(*args, **kwargs)
+                except Exception as exc:
+                    callee_error = exc
+                    self._reply_hop(src, dst, "error-reply")
+                    raise
+                self._reply_hop(src, dst, "reply")
+        except NetworkError as exc:
+            if breakers is not None:
+                if exc is callee_error:
+                    # the callee raised it (e.g. a nested invoke further
+                    # downstream) and the error-reply landed: dst is alive
+                    breakers.record_success(dst)
+                else:
+                    breakers.record_failure(dst)
+            raise
+        except Exception:
+            # application error with a delivered error-reply: dst is alive
+            if breakers is not None:
+                breakers.record_success(dst)
+            raise
+        if breakers is not None:
+            breakers.record_success(dst)
         self.tracer.emit("net", "invoke",
                          src=str(src), dst=str(dst), label=name,
                          rtt=self.sim.now - t0)
@@ -275,14 +307,24 @@ class Transport:
                         "error", f"{type(error).__name__}: {error}")
 
         # Sample all request latencies up front, execute in arrival order.
+        breakers = self.breakers
         arrivals: List[Tuple[float, int]] = []
         for i, call in enumerate(calls):
+            if breakers is not None and not breakers.allow(call.dst):
+                err: Exception = CircuitOpenError(
+                    f"circuit open for {call.dst}")
+                outcomes[i] = CallOutcome(False, error=err,
+                                          completed_at=start)
+                _failed_span(call, err)
+                continue
             if not self.topology.reachable(call.src, call.dst):
-                err: Exception = HostUnreachableError(
+                err = HostUnreachableError(
                     f"{call.src} -> {call.dst}")
                 outcomes[i] = CallOutcome(False, error=err,
                                           completed_at=start)
                 _failed_span(call, err)
+                if breakers is not None:
+                    breakers.record_failure(call.dst)
                 continue
             p = self.effective_loss_probability()
             lost = p > 0.0 and self._loss_rng.random() < p
@@ -294,6 +336,8 @@ class Transport:
                     False, error=err,
                     completed_at=start + self.loss_timeout_factor * lat)
                 _failed_span(call, err)
+                if breakers is not None:
+                    breakers.record_failure(call.dst)
                 continue
             lat = self._sample_latency(call.src, call.dst)
             arrivals.append((start + lat, i))
@@ -314,6 +358,10 @@ class Transport:
                         sp.set_status("error")
                         sp.set_attribute(
                             "error", f"{type(exc).__name__}: {exc}")
+            if breakers is not None:
+                # the callee ran, so the destination is reachable —
+                # even when it answered with an application error
+                breakers.record_success(call.dst)
             reply_lat = (self._sample_latency(call.dst, call.src)
                          if call.src is not None
                          else self._sample_latency(None, call.dst))

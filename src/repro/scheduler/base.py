@@ -137,11 +137,16 @@ class Scheduler:
 
     def viable_hosts(self, class_obj: ClassObject,
                      extra_query: str = "") -> List[CollectionRecord]:
-        """Hosts able to run some implementation of ``class_obj``."""
+        """Hosts able to run some implementation of ``class_obj``.
+
+        Records the HealthMonitor marked DOWN are dropped here as well as
+        at the Collection — a belt-and-braces filter for results that
+        arrive through a stale federation query cache."""
         query = implementation_query(class_obj.get_implementations())
         if extra_query:
             query = f"({query}) and ({extra_query})"
-        return self.query_collection(query)
+        return [r for r in self.query_collection(query)
+                if r.get("host_health") != "down"]
 
     @staticmethod
     def compatible_vaults_of(record: CollectionRecord) -> List[LOID]:

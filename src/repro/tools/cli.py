@@ -19,6 +19,8 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim run --chaos-profile hosts --chaos-seed 7 --wait
    $ legion-sim chaos --profile lossy --compare-retry
    $ legion-sim chaos --profile mixed --retry --out report.json
+   $ legion-sim chaos --profile hosts --retry --guardrails
+   $ legion-sim guardrails --compare --out BENCH_guardrails.json
 
 ``repro-cli`` is an alias of the same entry point.
 
@@ -364,6 +366,7 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
                   platform_mix=args.platforms,
                   background_load=args.load,
                   shards=args.shards)
+    kwargs["guardrails"] = args.guardrails
     try:
         if args.compare_retry:
             reports = [run_campaign(retry=False, **kwargs),
@@ -393,6 +396,44 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
     residual = max(len(r.residual_faults) for r in reports)
     if residual:
         print(f"ERROR: {residual} residual fault(s) survived teardown",
+              file=out)
+        return 1
+    return 0
+
+
+def cmd_guardrails(args: argparse.Namespace, out) -> int:
+    """Benchmark the guardrails layer against retries-only and baseline.
+
+    With ``--compare`` (the headline mode) the identical seeded campaign
+    runs three times — guardrails+retries, retries-only, and bare — and
+    the exit status is nonzero if guardrails *regressed* survival, which
+    is what the ``guardrails-smoke`` CI job gates on.
+    """
+    from ..guardrails.compare import run_comparison
+    try:
+        cmp = run_comparison(
+            profile=args.profile, chaos_seed=args.chaos_seed,
+            seed=args.seed, scheduler=args.scheduler,
+            waves=args.waves, per_wave=args.count, work=args.work,
+            wave_interval=args.wave_interval,
+            horizon=args.horizon or None,
+            n_domains=args.domains, hosts_per_domain=args.hosts,
+            platform_mix=args.platforms, background_load=args.load,
+            shards=args.shards, include_events=args.events)
+    except LegionError as exc:
+        print(f"guardrails error: {exc}", file=out)
+        return 2
+    print(cmp.summary(), file=out)
+    if not args.compare:
+        print(file=out)
+        print(cmp.reports["guardrails"].summary(), file=out)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(cmp.to_json() + "\n")
+        print(f"wrote guardrails comparison to {args.out}", file=out)
+    if cmp.survival_delta < 0:
+        print(f"ERROR: guardrails regressed survival by "
+              f"{-100.0 * cmp.survival_delta:.1f} percentage points",
               file=out)
         return 1
     return 0
@@ -517,12 +558,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="random | irs | load | mct | round-robin | kofn")
     p.add_argument("--retry", action="store_true",
                    help="enable the RetryPolicy resilience layer")
+    p.add_argument("--guardrails", action="store_true",
+                   help="enable the guardrails self-healing layer")
     p.add_argument("--compare-retry", action="store_true",
                    help="run the identical campaign retry-off then "
                         "retry-on and print both survival rates")
     p.add_argument("--out", default="", metavar="FILE",
                    help="write the ResilienceReport JSON to FILE")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("guardrails",
+                       help="benchmark the guardrails self-healing layer "
+                            "against retries-only and bare baselines")
+    _add_testbed_args(p)
+    p.add_argument("--profile", default="hosts",
+                   help="campaign profile (default hosts — crash-"
+                        "dominated, the guardrails sweet spot)")
+    p.add_argument("--chaos-seed", type=int, default=1,
+                   help="campaign seed (default 1)")
+    p.add_argument("--waves", type=int, default=6,
+                   help="placement waves to attempt (default 6)")
+    p.add_argument("--count", type=int, default=4,
+                   help="instances requested per wave (default 4)")
+    p.add_argument("--work", type=float, default=250.0)
+    p.add_argument("--wave-interval", type=float, default=90.0,
+                   help="virtual seconds between waves (default 90)")
+    p.add_argument("--horizon", type=float, default=0.0,
+                   help="campaign horizon override in virtual seconds")
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn")
+    p.add_argument("--compare", action="store_true",
+                   help="print only the three-mode comparison table "
+                        "(omits the full guardrails-mode report)")
+    p.add_argument("--events", action="store_true",
+                   help="include per-fault event logs in --out JSON")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the comparison JSON to FILE")
+    p.set_defaults(fn=cmd_guardrails)
 
     p = sub.add_parser("bench", help="compare schedulers on one workload")
     _add_testbed_args(p)

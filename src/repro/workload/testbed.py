@@ -74,6 +74,9 @@ class TestbedSpec:
     gossip_interval: float = 0.0
     #: router-side query cache TTL in virtual seconds (0 disables)
     federation_cache_ttl: float = 0.0
+    #: enable the self-healing guardrails layer
+    #: (:meth:`~repro.metasystem.Metasystem.enable_guardrails`)
+    guardrails: bool = False
     #: arm a chaos campaign over the built testbed ("" disables); a name
     #: from :data:`repro.chaos.plan.PROFILES`
     chaos_profile: str = ""
@@ -137,6 +140,8 @@ def build_testbed(spec: Optional[TestbedSpec] = None, **kwargs) -> Metasystem:
         if kind:
             meta.add_batch_host(f"{domain}-cluster", domain,
                                 queue_kind=kind, nodes=spec.batch_nodes)
+    if spec.guardrails:
+        meta.enable_guardrails()
     if spec.chaos_profile:
         meta.start_chaos(profile=spec.chaos_profile,
                          chaos_seed=spec.chaos_seed,

@@ -156,3 +156,10 @@ class TestSoak:
         # subsystems actually exercised
         assert daemon.sweeps > 100
         assert meta.enactor.stats.reservations_granted >= len(created)
+        # reservation ledgers stay bounded: every 600 s grant has long
+        # expired by the end of the drain, and periodic reassessment
+        # sweeps dead entries instead of accumulating them forever
+        for host in meta.hosts:
+            assert len(host.reservations) <= host.slots, host.machine.name
+        purged = meta.metrics.get("host_reservations_purged_total")
+        assert purged is not None and purged.value > 0
