@@ -5,10 +5,19 @@ from .collection import Collection, Credential
 from .daemon import DataCollectionDaemon
 from .indexing import IndexedCollection
 from .records import CollectionRecord
-from .query import QueryFunctions, UNDEFINED, evaluate, matches, parse
+from .query import (
+    UNDEFINED,
+    CompiledQuery,
+    QueryFunctions,
+    compile_query,
+    evaluate,
+    matches,
+    parse,
+)
 
 __all__ = [
     "Collection", "IndexedCollection", "Credential", "CollectionRecord",
     "DataCollectionDaemon",
     "parse", "evaluate", "matches", "QueryFunctions", "UNDEFINED",
+    "compile_query", "CompiledQuery",
 ]

@@ -38,7 +38,8 @@ from ..objects.base import LegionObject
 from ..obs.registry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from ..obs.spans import NULL_SPANS
 from .query.ast import Node
-from .query.evaluate import QueryFunctions, matches
+from .query.compile import CompiledQuery, compile_query
+from .query.evaluate import QueryFunctions
 from .query.parser import parse
 from .records import CollectionRecord
 
@@ -60,12 +61,22 @@ class Credential:
 
 class _RecordView(Mapping):
     """Read-only mapping over a record's attributes, layering the
-    Collection's computed attributes and the implicit ``loid`` field."""
+    Collection's computed attributes and the implicit ``loid`` field.
 
-    def __init__(self, record: CollectionRecord,
+    The view is cheap to rebind (:meth:`_bind`): the query loop reuses a
+    single instance across all candidate records instead of allocating
+    one per record."""
+
+    __slots__ = ("_record", "_computed")
+
+    def __init__(self, record: Optional[CollectionRecord],
                  computed: Dict[str, Callable[[Mapping], Any]]):
         self._record = record
         self._computed = computed
+
+    def _bind(self, record: CollectionRecord) -> "_RecordView":
+        self._record = record
+        return self
 
     def __getitem__(self, key: str) -> Any:
         if key == "loid":
@@ -78,10 +89,18 @@ class _RecordView(Mapping):
         raise KeyError(key)
 
     def get(self, key: str, default: Any = None) -> Any:
-        try:
-            return self[key]
-        except KeyError:
-            return default
+        # ``loid`` first (it shadows a stored attribute of the same name,
+        # matching __getitem__), then the snapshot, then computed fields —
+        # all without raising, since this is the query hot path.
+        if key == "loid":
+            return str(self._record.member)
+        attrs = self._record.attributes
+        if key in attrs:
+            return attrs[key]
+        fn = self._computed.get(key)
+        if fn is not None:
+            return fn(attrs)
+        return default
 
     def __iter__(self):
         yield "loid"
@@ -119,9 +138,18 @@ class Collection(LegionObject):
         self.functions = QueryFunctions()
         self._computed: Dict[str, Callable[[Mapping], Any]] = {}
         self._ast_cache: Dict[str, Node] = {}
+        #: query text -> compiled closure plan (compiled once, reused for
+        #: every record of every later identical query)
+        self._plan_cache: Dict[str, CompiledQuery] = {}
+        #: LOID-sorted member list, rebuilt lazily after membership changes
+        self._members_cache: Optional[List[LOID]] = None
+        #: bumped on every mutation that could change query results; the
+        #: Scheduler's viable-hosts cache keys on it (see data_version)
+        self.mutation_version = 0
         self.queries_served = 0
         self.updates_applied = 0
         self.auth_failures = 0
+        self.plans_compiled = 0
 
     # -- credentials ---------------------------------------------------------
     def _mac_for(self, member: LOID) -> bytes:
@@ -155,8 +183,10 @@ class Collection(LegionObject):
             record = CollectionRecord(member=joiner, joined_at=now,
                                       updated_at=now)
             self._records[joiner] = record
+            self._members_cache = None
         if attributes:
             record.apply_update(attributes, now)
+        self.mutation_version += 1
         self.metrics.set_gauge("collection_members", len(self._records))
         return Credential(joiner, self._mac_for(joiner))
 
@@ -167,6 +197,8 @@ class Collection(LegionObject):
             raise NotAMemberError(f"{leaver} is not a member")
         self._authenticate(leaver, credential)
         del self._records[leaver]
+        self._members_cache = None
+        self.mutation_version += 1
         self.metrics.set_gauge("collection_members", len(self._records))
 
     def update_entry(self, member: LOID, attributes: Mapping[str, Any],
@@ -177,8 +209,28 @@ class Collection(LegionObject):
             raise NotAMemberError(f"{member} is not a member")
         self._authenticate(member, credential)
         record.apply_update(attributes, self._clock())
+        self.mutation_version += 1
         self.updates_applied += 1
         self.metrics.count("collection_updates_total", path="push")
+
+    def _plan_for(self, query: str) -> CompiledQuery:
+        """The compiled closure plan for ``query`` (parse + compile once)."""
+        plan = self._plan_cache.get(query)
+        if plan is None:
+            ast = self._ast_cache.get(query)
+            if ast is None:
+                ast = parse(query)
+                self._ast_cache[query] = ast
+            plan = compile_query(ast, self.functions)
+            self._plan_cache[query] = plan
+            self.plans_compiled += 1
+        return plan
+
+    def _sorted_members(self) -> List[LOID]:
+        members = self._members_cache
+        if members is None:
+            members = self._members_cache = sorted(self._records)
+        return members
 
     def query(self, query: str) -> List[CollectionRecord]:
         """QueryCollection — records whose attributes satisfy the query.
@@ -187,23 +239,29 @@ class Collection(LegionObject):
         injected computed attributes; results are returned in deterministic
         (LOID-sorted) order.
         """
-        ast = self._ast_cache.get(query)
-        if ast is None:
-            ast = parse(query)
-            self._ast_cache[query] = ast
+        plan = self._plan_for(query)
         self.queries_served += 1
         out: List[CollectionRecord] = []
+        records = self._records
+        quarantine = self.exclude_down_members
+        matches_fn = plan.matches
+        # Plans that read only stored attributes (no $loid, no function
+        # calls, no computed attributes installed) can match against the
+        # raw attribute dict; everything else goes through one reused view.
+        raw = not self._computed and not plan.uses_loid and not plan.has_calls
+        view = None if raw else _RecordView(None, self._computed)
         with self.spans.span_if_active("collection.serve", step="2",
                                        path="scan") as sp:
-            for member in sorted(self._records):
-                record = self._records[member]
-                if self._quarantined(record):
+            for member in self._sorted_members():
+                record = records[member]
+                if quarantine and \
+                        record.attributes.get("host_health") == "down":
                     continue
-                view = _RecordView(record, self._computed)
-                if matches(ast, view, self.functions):
+                subject = record.attributes if raw else view._bind(record)
+                if matches_fn(subject):
                     out.append(record)
             sp.set_attribute("results", len(out))
-        self._record_query_metrics("scan", len(self._records), len(out))
+        self._record_query_metrics("scan", len(records), len(out))
         return out
 
     def _quarantined(self, record: CollectionRecord) -> bool:
@@ -250,7 +308,9 @@ class Collection(LegionObject):
             record = CollectionRecord(member=source.loid, joined_at=now,
                                       updated_at=now)
             self._records[source.loid] = record
+            self._members_cache = None
         record.apply_update(snapshot, now)
+        self.mutation_version += 1
         self.updates_applied += 1
         self.metrics.count("collection_updates_total", path="pull")
         self.metrics.set_gauge("collection_members", len(self._records))
@@ -274,6 +334,8 @@ class Collection(LegionObject):
                 joined_at=incoming.joined_at,
                 updated_at=incoming.updated_at,
                 update_count=incoming.update_count)
+            self._members_cache = None
+            self.mutation_version += 1
             self.metrics.count("collection_updates_total", path="merge")
             self.metrics.set_gauge("collection_members", len(self._records))
             return True
@@ -282,6 +344,7 @@ class Collection(LegionObject):
         mine.attributes.update(incoming.attributes)
         mine.updated_at = incoming.updated_at
         mine.update_count = incoming.update_count
+        self.mutation_version += 1
         self.metrics.count("collection_updates_total", path="merge")
         return True
 
@@ -289,8 +352,13 @@ class Collection(LegionObject):
     def inject_function(self, name: str,
                         fn: Callable[[List[Any], Mapping[str, Any]], Any]
                         ) -> None:
-        """Install a query-callable function (section 3.2 extension)."""
+        """Install a query-callable function (section 3.2 extension).
+
+        Compiled plans resolve functions at call time through the shared
+        registry, so plans compiled before this call see the new function.
+        """
         self.functions.register(name, fn)
+        self.mutation_version += 1
 
     def inject_attribute(self, name: str,
                          fn: Callable[[Mapping[str, Any]], Any]) -> None:
@@ -298,6 +366,7 @@ class Collection(LegionObject):
         if not callable(fn):
             raise TypeError("computed attribute requires a callable")
         self._computed[name] = fn
+        self.mutation_version += 1
 
     def record_attr(self, record: CollectionRecord, name: str,
                     default: Any = None) -> Any:
@@ -307,7 +376,17 @@ class Collection(LegionObject):
 
     # -- introspection -------------------------------------------------------------
     def members(self) -> List[LOID]:
-        return sorted(self._records)
+        return list(self._sorted_members())
+
+    def data_version(self) -> Any:
+        """An opaque token that changes whenever query results could.
+
+        The Scheduler's viable-hosts cache compares tokens for equality;
+        it must never serve a stale placement, so every result-affecting
+        mutation (record writes, membership churn, injected functions or
+        attributes, the quarantine knob) rolls the token.
+        """
+        return (self.mutation_version, self.exclude_down_members)
 
     def record_of(self, member: LOID) -> CollectionRecord:
         record = self._records.get(member)

@@ -168,19 +168,18 @@ class IndexedCollection(Collection):
         return sorted(result)
 
     def query(self, query: str) -> List[CollectionRecord]:
-        ast = self._ast_cache.get(query)
-        if ast is None:
-            from .query.parser import parse
-            ast = parse(query)
-            self._ast_cache[query] = ast
-        candidates = self._candidates(ast)
+        plan = self._plan_for(query)
+        candidates = self._candidates(plan.ast)
         if candidates is None:
             self.scan_fallbacks += 1
             return super().query(query)
         self.index_hits += 1
         self.queries_served += 1
         from .collection import _RecordView
-        from .query.evaluate import matches
+        matches_fn = plan.matches
+        raw = (not self._computed and not plan.uses_loid
+               and not plan.has_calls)
+        view = None if raw else _RecordView(None, self._computed)
         out: List[CollectionRecord] = []
         with self.spans.span_if_active("collection.serve", step="2",
                                        path="index") as sp:
@@ -188,8 +187,9 @@ class IndexedCollection(Collection):
                 record = self._records.get(member)
                 if record is None or self._quarantined(record):
                     continue
-                view = _RecordView(record, self._computed)
-                if matches(ast, view, self.functions):
+                subject = (record.attributes if raw
+                           else view._bind(record))
+                if matches_fn(subject):
                     out.append(record)
             sp.set_attribute("results", len(out))
         self._record_query_metrics("index", len(candidates), len(out))

@@ -1,6 +1,8 @@
-"""The Collection query language: lexer, parser, AST, and evaluator."""
+"""The Collection query language: lexer, parser, AST, evaluator, and the
+closure-based plan compiler."""
 
 from .ast import And, Arith, Attr, Call, Compare, Literal, Node, Not, Or
+from .compile import CompiledQuery, compile_query
 from .evaluate import UNDEFINED, QueryFunctions, evaluate, matches
 from .lexer import Token, tokenize
 from .parser import parse
@@ -8,6 +10,7 @@ from .parser import parse
 __all__ = [
     "parse", "tokenize", "Token",
     "evaluate", "matches", "QueryFunctions", "UNDEFINED",
+    "compile_query", "CompiledQuery",
     "Node", "Or", "And", "Not", "Compare", "Arith", "Call", "Attr",
     "Literal",
 ]

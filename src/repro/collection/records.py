@@ -10,7 +10,7 @@ from ..naming.loid import LOID
 __all__ = ["CollectionRecord"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CollectionRecord:
     """The Collection's view of one member object.
 

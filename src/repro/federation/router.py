@@ -444,6 +444,17 @@ class FederatedCollection:
         return default
 
     # -- introspection ---------------------------------------------------------
+    def data_version(self) -> Any:
+        """Change token for the Scheduler's viable-hosts cache.
+
+        Folds in every shard's mutation version *and* the reachable-shard
+        fingerprint, so a shard outage (or recovery) — which changes what
+        a scatter-gather query can see — invalidates cached placements
+        even though no record was written."""
+        return (tuple(s.collection.mutation_version for s in self.shards),
+                tuple(self.healthy_shards()),
+                self.exclude_down_members)
+
     def members(self) -> List[LOID]:
         seen = set()
         for shard in self.shards:

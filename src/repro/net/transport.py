@@ -40,7 +40,7 @@ from .topology import NetLocation, Topology
 __all__ = ["Transport", "Call", "CallOutcome"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Call:
     """One remote invocation for :meth:`Transport.parallel_invoke`."""
 
@@ -54,7 +54,7 @@ class Call:
     context: Optional[TraceContext] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CallOutcome:
     """Result slot from a parallel invocation."""
 
@@ -343,6 +343,7 @@ class Transport:
             arrivals.append((start + lat, i))
 
         completion = start
+        replies = 0
         for arrive_at, i in sorted(arrivals):
             call = calls[i]
             self.sim.run_until(arrive_at)
@@ -365,7 +366,7 @@ class Transport:
             reply_lat = (self._sample_latency(call.dst, call.src)
                          if call.src is not None
                          else self._sample_latency(None, call.dst))
-            self._count_message()
+            replies += 1
             done = self.sim.now + reply_lat
             if sp.end is not None:
                 # stretch the rpc span over the full request->reply window
@@ -374,6 +375,12 @@ class Transport:
             outcomes[i] = CallOutcome(ok, value=value, error=err2,
                                       completed_at=done)
             completion = max(completion, done)
+        if replies:
+            # reply hops are accounted in one batch: same totals as the
+            # per-hop path, one counter update instead of len(arrivals)
+            self.messages_sent += replies
+            self.metrics.count("transport_messages_total", replies,
+                               kind="sent")
 
         # Failed/lost slots may have later timeout completions.
         for o in outcomes:

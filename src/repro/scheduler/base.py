@@ -107,7 +107,7 @@ class Scheduler:
                  transport: Transport,
                  location: Optional[NetLocation] = None,
                  rng: Optional[np.random.Generator] = None,
-                 name: str = ""):
+                 name: str = "", viable_cache: bool = True):
         self.collection = collection
         self.enactor = enactor
         self.transport = transport
@@ -115,6 +115,13 @@ class Scheduler:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.name = name or type(self).__name__
         self.collection_queries = 0
+        #: incremental viable-hosts cache (keyed by query text, validated
+        #: against the Collection's data_version token); disable to pin
+        #: the paper's uncached lookup-economy baseline
+        self.viable_cache = viable_cache
+        self._viable_cache: dict = {}
+        self.viable_cache_hits = 0
+        self.viable_cache_misses = 0
 
     @property
     def spans(self) -> SpanTracer:
@@ -139,14 +146,33 @@ class Scheduler:
                      extra_query: str = "") -> List[CollectionRecord]:
         """Hosts able to run some implementation of ``class_obj``.
 
-        Records the HealthMonitor marked DOWN are dropped here as well as
-        at the Collection — a belt-and-braces filter for results that
-        arrive through a stale federation query cache."""
+        Results are cached per query text and revalidated against the
+        Collection's ``data_version`` token, so repeated lookups between
+        Collection mutations cost nothing — any record update, membership
+        change, health transition, or federation-shard outage rolls the
+        token and forces a fresh query.  Records the HealthMonitor marked
+        DOWN are dropped here as well as at the Collection — a
+        belt-and-braces filter for results that arrive through a stale
+        federation query cache."""
         query = implementation_query(class_obj.get_implementations())
         if extra_query:
             query = f"({query}) and ({extra_query})"
-        return [r for r in self.query_collection(query)
-                if r.get("host_health") != "down"]
+        token = None
+        if self.viable_cache:
+            version_of = getattr(self.collection, "data_version", None)
+            token = version_of() if version_of is not None else None
+            if token is not None:
+                entry = self._viable_cache.get(query)
+                if entry is not None and entry[0] == token:
+                    self.viable_cache_hits += 1
+                    return list(entry[1])
+        results = [r for r in self.query_collection(query)
+                   if r.get("host_health") != "down"]
+        if token is not None:
+            self._viable_cache[query] = (token, results)
+            self.viable_cache_misses += 1
+            return list(results)
+        return results
 
     @staticmethod
     def compatible_vaults_of(record: CollectionRecord) -> List[LOID]:

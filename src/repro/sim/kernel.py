@@ -28,8 +28,8 @@ DESIGN.md section 4 for the rationale.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import ProcessError, SimTimeError
@@ -65,6 +65,8 @@ class Event:
     PENDING = "pending"
     SUCCEEDED = "succeeded"
     FAILED = "failed"
+
+    __slots__ = ("sim", "name", "state", "value", "_waiters")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -122,6 +124,8 @@ class Event:
 class Timeout(Event):
     """An event that succeeds after a fixed virtual-time delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimTimeError(f"negative timeout delay {delay!r}")
@@ -132,6 +136,8 @@ class Timeout(Event):
 
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
         super().__init__(sim, name=name)
@@ -153,6 +159,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Succeeds when every child event has succeeded; fails on first failure."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, events, name="all_of")
 
@@ -167,6 +175,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Succeeds when the first child succeeds; fails if all children fail."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, events, name="any_of")
@@ -186,6 +196,8 @@ class Process(Event):
     A process is itself an :class:`Event` that resolves when the generator
     returns (success, with the return value) or raises (failure).
     """
+
+    __slots__ = ("_gen", "_waiting_on")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
@@ -275,7 +287,7 @@ class Simulator:
         """Schedule ``action()`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SimTimeError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(
+        heappush(
             self._heap, (self._now + delay, priority, next(self._seq), action)
         )
 
@@ -285,7 +297,7 @@ class Simulator:
         if when < self._now:
             raise SimTimeError(
                 f"cannot schedule at {when} before now={self._now}")
-        heapq.heappush(self._heap, (when, priority, next(self._seq), action))
+        heappush(self._heap, (when, priority, next(self._seq), action))
 
     # -- waitable factories --------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -313,7 +325,7 @@ class Simulator:
         """Run the single next action.  Returns False when the heap is empty."""
         if not self._heap:
             return False
-        when, _prio, _seq, action = heapq.heappop(self._heap)
+        when, _prio, _seq, action = heappop(self._heap)
         self._now = when
         self.events_processed += 1
         action()
@@ -326,9 +338,25 @@ class Simulator:
         there), so the caller can interleave stack-based protocol execution
         with world dynamics.  ``until`` in the past is a no-op rather than an
         error, which lets zero-latency local calls remain cheap.
+
+        This is the kernel's hottest entry point (the transport calls it
+        for every message hop), so the dispatch loop is inlined: the heap
+        list and heappop are bound locally, and an empty heap or a no-op
+        advance falls through with no per-event work at all.  Scheduling
+        from inside an action is safe — ``self._heap`` is the same list
+        object the loop holds — and reentrant run_until calls each count
+        their own pops into ``events_processed``.
         """
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
+        heap = self._heap
+        if heap and heap[0][0] <= until:
+            pop = heappop
+            processed = 0
+            while heap and heap[0][0] <= until:
+                when, _prio, _seq, action = pop(heap)
+                self._now = when
+                processed += 1
+                action()
+            self.events_processed += processed
         if until > self._now:
             self._now = until
 

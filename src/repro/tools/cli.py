@@ -21,6 +21,8 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim chaos --profile mixed --retry --out report.json
    $ legion-sim chaos --profile hosts --retry --guardrails
    $ legion-sim guardrails --compare --out BENCH_guardrails.json
+   $ legion-sim scale --out BENCH_scale.json
+   $ legion-sim scale --sizes 16,32 --check BENCH_scale.json
 
 ``repro-cli`` is an alias of the same entry point.
 
@@ -439,6 +441,53 @@ def cmd_guardrails(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_scale(args: argparse.Namespace, out) -> int:
+    """Run the scale campaign and write/check the BENCH_scale.json ledger.
+
+    ``--check FILE`` compares this run against a committed ledger: the
+    exit status is nonzero when a deterministic field drifted (the
+    ledger is stale) or events/sec regressed beyond tolerance — what
+    the ``scale-smoke`` CI job gates on.
+    """
+    import json
+
+    from ..bench import scale as scale_bench
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    except ValueError:
+        print(f"bad --sizes {args.sizes!r}: expected comma-separated "
+              f"integers", file=out)
+        return 2
+    try:
+        report = scale_bench.build_report(
+            sizes=sizes, waves=args.waves, per_wave=args.count,
+            seed=args.seed, scheduler=args.scheduler,
+            members=args.members, reps=args.reps)
+    except (LegionError, ValueError) as exc:
+        print(f"scale error: {exc}", file=out)
+        return 2
+    scale_bench.placement_table(report["sizes"]).print(out)
+    scale_bench.engine_table(report["query_engines"]).print(out)
+    status = 0
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            committed = json.load(fh)
+        problems = scale_bench.check_report(
+            committed, report,
+            min_ratio=args.min_ratio if args.min_ratio > 0 else None)
+        for problem in problems:
+            print(f"ERROR: {problem}", file=out)
+        if problems:
+            status = 1
+        else:
+            print(f"ledger check passed against {args.check}", file=out)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(scale_bench.report_to_json(report) + "\n")
+        print(f"wrote scale ledger to {args.out}", file=out)
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="legion-sim",
@@ -595,6 +644,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="", metavar="FILE",
                    help="write the comparison JSON to FILE")
     p.set_defaults(fn=cmd_guardrails)
+
+    p = sub.add_parser("scale",
+                       help="run the scale campaign and write/check the "
+                            "BENCH_scale.json speed ledger")
+    p.add_argument("--sizes", default="64,256,1024",
+                   help="comma-separated total host counts, each "
+                        "divisible by 4 (default 64,256,1024)")
+    p.add_argument("--waves", type=int, default=4,
+                   help="placement waves per size (default 4)")
+    p.add_argument("--count", type=int, default=6,
+                   help="instances requested per wave (default 6)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="experiment seed (default 0)")
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn")
+    p.add_argument("--members", type=int, default=4096,
+                   help="member count for the query-engine microbench "
+                        "(default 4096)")
+    p.add_argument("--reps", type=int, default=20,
+                   help="timing repetitions per engine (default 20)")
+    p.add_argument("--check", default="", metavar="FILE",
+                   help="compare this run against a committed ledger; "
+                        "exit nonzero on staleness or speed regression")
+    p.add_argument("--min-ratio", type=float, default=0.0,
+                   help="events/sec tolerance floor as a fraction of "
+                        "the committed speed (default: the committed "
+                        "ledger's own min_ratio)")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the scale ledger JSON to FILE")
+    p.set_defaults(fn=cmd_scale)
 
     p = sub.add_parser("bench", help="compare schedulers on one workload")
     _add_testbed_args(p)

@@ -3,8 +3,15 @@
 Two runs of the same seeded workload must produce byte-identical metrics
 snapshots and equal trace counts — the property every experiment table
 in benchmarks/ relies on, now pinned against regressions from new
-instrumentation.
+instrumentation.  The scale snapshot at the bottom extends the guarantee
+across *process boundaries* at metasystem scale (1000 hosts) with the
+compiled-query and viable-hosts caches enabled.
 """
+
+import hashlib
+import os
+import subprocess
+import sys
 
 from repro import Metasystem, ObjectClassRequest
 from repro.obs import chrome_trace_json, json_to_snapshot, spans_to_jsonl
@@ -73,6 +80,51 @@ def _run_federated_workload(seed: int):
             spans_to_jsonl(meta.spans.spans))
 
 
+# ---------------------------------------------------------------------------
+# cross-process scale snapshot
+# ---------------------------------------------------------------------------
+
+#: pinned digest of the 1k-host scale run below.  If a change legitimately
+#: alters placement or event accounting at scale, regenerate with
+#:     PYTHONPATH=src python tests/test_determinism.py
+#: and update this constant (the bench ledger BENCH_scale.json will need
+#: regenerating too — see docs/architecture.md).
+SCALE_SNAPSHOT = (
+    "85f13c11b6ea02c72dbe29b95637356ee5f9f2ec16b966fc897ae3f32a760c1a")
+
+
+def _scale_digest() -> str:
+    """Digest of one seeded IRS run over a 1000-host testbed.
+
+    Exercises the hot-path machinery this PR added — compiled query
+    plans, the viable-hosts cache (the back-to-back second run must hit
+    it), slotted records/events — and folds placements, kernel event
+    counts, virtual time, and transport traffic into one value that any
+    process on any run must reproduce exactly.
+    """
+    meta = build_testbed(TestbedSpec(
+        n_domains=4, hosts_per_domain=250, platform_mix=3,
+        background_load_mean=0.0, seed=100))
+    app = meta.create_class("snap-app",
+                            implementations_for_all_platforms(),
+                            work_units=60.0)
+    sched = meta.make_scheduler("irs")
+    first = sched.run([ObjectClassRequest(app, count=8)])
+    second = sched.run([ObjectClassRequest(app, count=8)])
+    assert first.ok and second.ok
+    assert sched.viable_cache_hits >= 1  # the burst ran on the cache
+    meta.advance(120.0)
+    payload = "|".join((
+        ",".join(str(loid) for loid in first.created + second.created),
+        str(meta.sim.events_processed),
+        repr(meta.sim.now),
+        str(meta.transport.messages_sent),
+        str(meta.collection.plans_compiled),
+        str(sched.viable_cache_hits),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 class TestDeterminism:
     def test_identical_seeds_identical_snapshots(self):
         json_a, counts_a, chrome_a, jsonl_a = _run_workload(seed=1234)
@@ -117,3 +169,26 @@ class TestDeterminism:
         assert any(
             s.get("value") or s.get("count")
             for m in snapshot["metrics"] for s in m["series"])
+
+
+class TestCrossProcessScaleSnapshot:
+    def test_pinned_digest_in_process(self):
+        """The 1k-host run reproduces the committed digest (caches on)."""
+        assert _scale_digest() == SCALE_SNAPSHOT
+
+    def test_digest_stable_across_processes(self):
+        """A fresh interpreter — different hash seed, import order, and
+        allocator state — must still land on the pinned digest."""
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src = os.path.join(root, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__)],
+            capture_output=True, text=True, env=env, timeout=600)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == SCALE_SNAPSHOT
+
+
+if __name__ == "__main__":
+    print(_scale_digest())

@@ -1,0 +1,265 @@
+"""Differential fuzz: compiled query plans vs the tree-walking evaluator.
+
+The compiled closures in ``collection/query/compile.py`` carry specialized
+fast paths (``$attr <op> scalar-literal`` in either operand order), so this
+suite pins the one property the Collection relies on: **for every query and
+every record, the plan and the tree walk agree** — same value from
+``evaluate``, same boolean from ``matches``, and the same
+``QueryEvaluationError`` when evaluation legitimately fails (bad regex,
+unknown function actually reached).
+
+Records are plain attribute dicts (exactly what both engines consume), with
+names that only partially overlap the query's ``$attrs`` so missing-attribute
+(UNDEFINED) paths are exercised constantly, and values spanning the loose
+type-coercion rules: bools and ints and floats compare numerically, strings
+compare exactly, lists match existentially, everything else is false.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection.query import (
+    UNDEFINED,
+    And,
+    Arith,
+    Attr,
+    Call,
+    Compare,
+    Literal,
+    Not,
+    Or,
+    QueryFunctions,
+    compile_query,
+    evaluate,
+    matches,
+    parse,
+)
+from repro.errors import QueryEvaluationError
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+#: names the queries read; records draw from the same pool so any given
+#: record defines some-but-rarely-all of what a query asks about
+ATTRS = ("arch", "site", "load", "up", "mem", "tags", "loid")
+
+_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-100, max_value=100),
+    st.floats(min_value=-100.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    # a few regex-flavoured strings so match() sees real patterns and the
+    # occasional bad one ("[" fails to compile -> both engines must raise)
+    st.sampled_from(("sparc", "x86", "site1", "", "42", "^s", "a.b", "[")),
+)
+
+_values = st.one_of(_scalars, st.lists(_scalars, max_size=3))
+
+records = st.dictionaries(st.sampled_from(ATTRS), _values,
+                          max_size=len(ATTRS))
+
+_leaf = st.one_of(
+    st.builds(Attr, st.sampled_from(ATTRS)),
+    st.builds(Literal, _scalars),
+)
+
+_COMPARE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_ARITH_OPS = ("+", "-", "*", "/")
+
+# the shape the fast paths specialize on, in both operand orders
+_attr_lit_compare = st.one_of(
+    st.builds(Compare, st.sampled_from(_COMPARE_OPS),
+              st.builds(Attr, st.sampled_from(ATTRS)),
+              st.builds(Literal, _scalars)),
+    st.builds(Compare, st.sampled_from(_COMPARE_OPS),
+              st.builds(Literal, _scalars),
+              st.builds(Attr, st.sampled_from(ATTRS))),
+)
+
+
+def _compound(children):
+    compare = st.builds(Compare, st.sampled_from(_COMPARE_OPS),
+                        children, children)
+    arith = st.builds(Arith, st.sampled_from(_ARITH_OPS),
+                      children, children)
+    calls = st.one_of(
+        st.builds(lambda a: Call("defined", (a,)), children),
+        st.builds(lambda a, b: Call("match", (a, b)), children, children),
+        st.builds(lambda a, b: Call("contains", (a, b)), children, children),
+        st.builds(lambda a, b, c: Call("oneof", (a, b, c)),
+                  children, children, children),
+    )
+    logic = st.one_of(
+        st.builds(Or, children, children),
+        st.builds(And, children, children),
+        st.builds(Not, children),
+    )
+    # weight toward the fast-path compare shape: that is where the
+    # compiled engine actually diverges from a naive transcription
+    return st.one_of(_attr_lit_compare, _attr_lit_compare,
+                     compare, logic, arith, calls)
+
+
+queries = st.recursive(_leaf, _compound, max_leaves=12)
+
+
+# ---------------------------------------------------------------------------
+# differential harness
+# ---------------------------------------------------------------------------
+
+def _outcome_tree(ast, record, fns):
+    try:
+        return ("value", evaluate(ast, record, fns))
+    except QueryEvaluationError:
+        return ("error", None)
+
+
+def _outcome_plan(plan, record):
+    try:
+        return ("value", plan.evaluate(record))
+    except QueryEvaluationError:
+        return ("error", None)
+
+
+def _same_value(a, b):
+    if a is UNDEFINED or b is UNDEFINED:
+        return a is b
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return type(a) is type(b) and a == b
+
+
+def assert_engines_agree(ast, record, fns):
+    plan = compile_query(ast, fns)
+    tree = _outcome_tree(ast, record, fns)
+    compiled = _outcome_plan(plan, record)
+    assert tree[0] == compiled[0], (
+        f"outcome kind diverged on {ast.unparse()!r} over {record!r}: "
+        f"tree={tree[0]} compiled={compiled[0]}")
+    if tree[0] == "value":
+        assert _same_value(tree[1], compiled[1]), (
+            f"value diverged on {ast.unparse()!r} over {record!r}: "
+            f"tree={tree[1]!r} compiled={compiled[1]!r}")
+        assert matches(ast, record, fns) == plan.matches(record)
+
+
+# ---------------------------------------------------------------------------
+# fuzz
+# ---------------------------------------------------------------------------
+
+class TestDifferentialFuzz:
+    @given(queries, records)
+    @settings(max_examples=300, deadline=None)
+    def test_random_ast_agrees(self, ast, record):
+        """Random ASTs over random records: identical values, booleans,
+        and error behaviour from both engines."""
+        assert_engines_agree(ast, record, QueryFunctions())
+
+    @given(_attr_lit_compare, records)
+    @settings(max_examples=200, deadline=None)
+    def test_fast_path_compare_agrees(self, ast, record):
+        """Concentrated fire on the specialized attr-vs-literal shape."""
+        assert_engines_agree(ast, record, QueryFunctions())
+
+    @given(records)
+    @settings(max_examples=150, deadline=None)
+    def test_parsed_query_texts_agree(self, record):
+        """End-to-end through the parser: the queries real subsystems
+        issue (scheduler viability, E19a) agree engine-to-engine."""
+        texts = (
+            '$arch == "sparc" and $site == "site1" and $load < 2',
+            '$up == true and not ($mem <= 64)',
+            '2 > $load or $arch != "x86"',
+            '$load * 2 + 1 >= $mem / 4',
+            'match($arch, "^s") or contains($tags, "gpu")',
+            'defined($mem) and oneof($arch, "sparc", "x86")',
+            '$loid == "host" or $tags == "gpu"',
+        )
+        fns = QueryFunctions()
+        for text in texts:
+            assert_engines_agree(parse(text), record, fns)
+
+
+# ---------------------------------------------------------------------------
+# deterministic edges
+# ---------------------------------------------------------------------------
+
+class TestEdgeSemantics:
+    def test_missing_attribute_never_raises(self):
+        plan = compile_query(parse('$ghost == 1 or $ghost < 2'))
+        assert plan.evaluate({}) is False
+        assert plan.matches({}) is False
+        assert compile_query(parse('defined($ghost)')).evaluate({}) is False
+        # UNDEFINED propagates through arithmetic into a false comparison
+        assert compile_query(parse('$ghost + 1 == 1')).evaluate({}) is False
+
+    def test_type_coercion_matches_tree_walk(self):
+        fns = QueryFunctions()
+        cases = [
+            ('$x == 1', {"x": True}),       # bool coerces to number
+            ('$x == 1', {"x": 1.0}),
+            ('$x == 1', {"x": "1"}),        # cross-type: false, not error
+            ('$x == "1"', {"x": 1}),
+            ('$x < 2', {"x": True}),
+            ('$x < "b"', {"x": "a"}),       # lexicographic strings
+            ('$x < "b"', {"x": 1}),         # cross-type ordering: false
+            ('$x == "x86"', {"x": ["sparc", "x86"]}),   # existential list
+            ('$x < 2', {"x": [5, 1]}),
+        ]
+        for text, record in cases:
+            assert_engines_agree(parse(text), record, fns)
+
+    def test_flipped_literal_first_ordering(self):
+        # "2 > $x" must behave exactly like "$x < 2"
+        flipped = compile_query(parse('2 > $x'))
+        straight = compile_query(parse('$x < 2'))
+        for value in (1, 2, 3, 1.5, True, "1", [0, 9], None):
+            record = {"x": value}
+            assert flipped.evaluate(record) == straight.evaluate(record)
+        assert flipped.evaluate({}) is False
+
+    def test_match_argument_order_leniency(self):
+        # footnote-5: with exactly one string literal, it is the regex
+        # regardless of position — both of the paper's forms work
+        rec = {"arch": "sparc"}
+        for text in ('match("^sp", $arch)', 'match($arch, "^sp")'):
+            plan = compile_query(parse(text))
+            assert plan.evaluate(rec) is True
+            assert plan.evaluate({"arch": "x86"}) is False
+            assert plan.evaluate({}) is False
+            assert evaluate(parse(text), rec) is True
+
+    def test_unknown_function_short_circuit_protection(self):
+        fns = QueryFunctions()
+        guarded = parse('false and nope($x)')
+        assert evaluate(guarded, {}, fns) is False
+        assert compile_query(guarded, fns).evaluate({}) is False
+        reached = parse('nope($x)')
+        for run in (lambda: evaluate(reached, {}, fns),
+                    lambda: compile_query(reached, fns).evaluate({})):
+            try:
+                run()
+            except QueryEvaluationError:
+                pass
+            else:  # pragma: no cover - failure path
+                raise AssertionError("unknown function did not raise")
+
+    def test_late_function_registration_visible_to_plan(self):
+        fns = QueryFunctions()
+        plan = compile_query(parse('halved($mem) == 8'), fns)
+        fns.register("halved", lambda args, record: args[0] / 2)
+        assert plan.evaluate({"mem": 16}) is True
+        assert plan.evaluate({"mem": 10}) is False
+
+    def test_plan_metadata_footprint(self):
+        plan = compile_query(parse('$arch == "sparc" and $load < 2'))
+        assert plan.attr_names == ("arch", "load")
+        assert plan.uses_loid is False
+        assert plan.has_calls is False
+        loidy = compile_query(parse('$loid == "x" or match($site, "s")'))
+        assert loidy.uses_loid is True
+        assert loidy.has_calls is True
