@@ -39,6 +39,7 @@ def run_campaign(profile: str = "mixed",
                  shards: int = 0,
                  drain_time: float = 4000.0,
                  include_events: bool = True,
+                 sampler_window: float = 0.0,
                  meta: Any = None) -> ResilienceReport:
     """Run one seeded campaign and return its ResilienceReport.
 
@@ -72,6 +73,8 @@ def run_campaign(profile: str = "mixed",
             meta.place_federation()
     if horizon is None:
         horizon = waves * wave_interval
+    if sampler_window and meta.sampler is None:
+        meta.start_sampler(window=sampler_window)
     if guardrails:
         meta.enable_guardrails()
     if retry:
@@ -146,6 +149,19 @@ def run_campaign(profile: str = "mixed",
     report.residual_faults = stats["residual_faults"]
     report.mttr_mean = stats["mttr_mean"]
     report.mttr_max = stats["mttr_max"]
+    if meta.sampler is not None:
+        from ..obs.slo import evaluate_slos
+        meta.sampler.flush()
+        results = evaluate_slos(meta.default_slos(), meta.sampler.windows)
+        report.slo = {
+            "window_seconds": meta.sampler.window,
+            "windows": len(meta.sampler.windows),
+            "minutes_lost": round(sum(r.minutes_lost for r in results), 6),
+            "alerts": sum(len(r.alerts) for r in results),
+            "exhausted": sum(1 for r in results if r.exhausted),
+            "budgets": {r.spec.name: round(r.budget_consumed, 6)
+                        for r in results},
+        }
     if include_events:
         report.events = [r.to_dict() for r in injector.records]
     return report

@@ -67,6 +67,13 @@ class ResilienceReport:
     mttr_mean: float = 0.0
     mttr_max: float = 0.0
 
+    #: SLO summary when the campaign armed a metrics sampler
+    #: (``sampler_window`` > 0): minutes lost, alert count, budget
+    #: consumption per objective.  Empty when sampling was off, and
+    #: omitted from :meth:`to_dict` then so pre-sampler benchmark
+    #: ledgers stay byte-identical.
+    slo: Dict[str, Any] = field(default_factory=dict)
+
     #: full per-fault event log (FaultRecord.to_dict())
     events: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -77,7 +84,7 @@ class ResilienceReport:
         return self.placement_successes / self.placement_attempts
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc: Dict[str, Any] = {
             "profile": self.profile,
             "chaos_seed": self.chaos_seed,
             "testbed_seed": self.testbed_seed,
@@ -126,6 +133,9 @@ class ResilienceReport:
             },
             "events": self.events,
         }
+        if self.slo:
+            doc["slo"] = self.slo
+        return doc
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -160,4 +170,10 @@ class ResilienceReport:
             f"  MTTR               mean {self.mttr_mean:.1f}s, "
             f"max {self.mttr_max:.1f}s",
         ]
+        if self.slo:
+            lines.append(
+                f"  slo                {self.slo['minutes_lost']:g} "
+                f"minute(s) lost, {self.slo['alerts']} burn alert(s), "
+                f"{self.slo['exhausted']} budget(s) exhausted "
+                f"(window {self.slo['window_seconds']:g}s)")
         return "\n".join(lines)

@@ -61,8 +61,18 @@ class GuardrailsComparison:
         strictly fewer wasted reservation attempts."""
         return self.survival_delta >= 0 and self.wasted_delta > 0
 
+    def slo_minutes(self, mode: str) -> float:
+        """SLO minutes lost in ``mode`` (0.0 when sampling was off)."""
+        return float(self.reports[mode].slo.get("minutes_lost", 0.0))
+
+    @property
+    def has_slo(self) -> bool:
+        """True when every mode ran with the metrics sampler armed."""
+        return all(rep.slo for rep in self.reports.values()) \
+            and bool(self.reports)
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "profile": self.profile,
             "chaos_seed": self.chaos_seed,
             "testbed_seed": self.testbed_seed,
@@ -80,6 +90,17 @@ class GuardrailsComparison:
                 "guardrails_improve": self.guardrails_improve,
             },
         }
+        # only present under sampling, so the committed pre-sampler
+        # BENCH_guardrails.json ledger stays byte-identical
+        if self.has_slo:
+            doc["benefit"]["slo_minutes_off"] = self.slo_minutes("off")
+            doc["benefit"]["slo_minutes_retries"] = \
+                self.slo_minutes("retries")
+            doc["benefit"]["slo_minutes_guardrails"] = \
+                self.slo_minutes("guardrails")
+            doc["benefit"]["slo_minutes_saved"] = round(
+                self.slo_minutes("off") - self.slo_minutes("guardrails"), 6)
+        return doc
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -107,6 +128,11 @@ class GuardrailsComparison:
             f"  benefit: survival {self.survival_delta:+.3f} vs retries, "
             f"wasted attempts {-self.wasted_delta:+d} "
             f"({'improves' if self.guardrails_improve else 'NO IMPROVEMENT'})")
+        if self.has_slo:
+            lines.append(
+                f"  slo minutes lost: off {self.slo_minutes('off'):g}, "
+                f"retries {self.slo_minutes('retries'):g}, "
+                f"guardrails {self.slo_minutes('guardrails'):g}")
         return "\n".join(lines)
 
 

@@ -97,7 +97,8 @@ class Metasystem:
                  tracing: str = "spans",
                  federation: Any = None,
                  chaos: Any = None,
-                 guardrails: Any = None):
+                 guardrails: Any = None,
+                 sampler: Any = None):
         if tracing not in ("off", "flat", "spans"):
             raise ValueError(
                 f"tracing must be 'off', 'flat' or 'spans', got {tracing!r}")
@@ -191,6 +192,17 @@ class Metasystem:
                 self.enable_guardrails()
             else:
                 self.enable_guardrails(config=guardrails)
+
+        # the sampler knob: True arms windowed time-series capture with
+        # the default window, a number sets the window length in virtual
+        # seconds; off by default so existing benchmark ledgers stay
+        # byte-identical
+        self.sampler: Optional[Any] = None
+        if sampler:
+            if sampler is True:
+                self.start_sampler()
+            else:
+                self.start_sampler(window=float(sampler))
 
     # ------------------------------------------------------------------
     # federation
@@ -528,6 +540,49 @@ class Metasystem:
         self.monitor = ExecutionMonitor(self.migrator, self.collection,
                                         self.resolve, **kwargs)
         return self.monitor
+
+    # ------------------------------------------------------------------
+    # time-series telemetry / SLOs
+    # ------------------------------------------------------------------
+    def start_sampler(self, window: float = 30.0,
+                      max_windows: int = 256) -> Any:
+        """Arm the windowed time-series sampler
+        (:class:`~repro.obs.timeseries.MetricsSampler`): registry deltas
+        are captured every ``window`` virtual seconds into a bounded
+        ring, the substrate the SLO engine and ``legion-sim slo``
+        evaluate.  The sampler draws no random numbers, so arming it
+        never perturbs the seeded streams of an existing scenario."""
+        from .obs.timeseries import MetricsSampler
+        if self.sampler is not None:
+            raise LegionError("a metrics sampler is already armed")
+        self.sampler = MetricsSampler(self.sim, self.metrics,
+                                      window=window,
+                                      max_windows=max_windows).start()
+        return self.sampler
+
+    def default_slos(self) -> List[Any]:
+        """The stock Legion objectives
+        (:func:`~repro.obs.slo.default_legion_slos`)."""
+        from .obs.slo import default_legion_slos
+        return default_legion_slos()
+
+    def slo_health_report(self, specs: Optional[Sequence[Any]] = None,
+                          include_windows: bool = True,
+                          title: str = "slo health") -> Dict[str, Any]:
+        """Flush the sampler and build the unified health report
+        (:func:`~repro.obs.report.build_health_report`) over the given
+        objectives (default: :meth:`default_slos`)."""
+        from .obs.report import build_health_report
+        if self.sampler is None:
+            raise LegionError(
+                "no metrics sampler armed (construct with "
+                "Metasystem(sampler=...) or call start_sampler())")
+        self.sampler.flush()
+        return build_health_report(
+            self.sampler,
+            list(specs) if specs is not None else self.default_slos(),
+            spans=self.spans.spans, title=title,
+            include_windows=include_windows)
 
     # ------------------------------------------------------------------
     # chaos / resilience

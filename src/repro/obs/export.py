@@ -20,7 +20,7 @@ so the JSON stays standard (no ``Infinity`` literals).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = [
     "build_snapshot",
@@ -165,27 +165,34 @@ def _max_exemplar(series: Dict[str, Any]) -> str:
     return max(exemplars, key=lambda e: e[1])[2]
 
 
-def render_report(snapshot: Dict[str, Any], title: str = "metrics") -> str:
-    """Human-readable report: one line per series, quantiles for
-    histograms, and the trace exemplar nearest the max observation."""
+def render_report(snapshot: Dict[str, Any], title: str = "metrics",
+                  quantiles: Sequence[float] = (0.5, 0.9)) -> str:
+    """Human-readable report: one line per series, the requested
+    quantiles for histograms (interpolated from cumulative buckets),
+    and the trace exemplar nearest the max observation."""
+    qcols = "".join(f" {'p' + format(100.0 * q, 'g'):>10s}"
+                    for q in quantiles)
     lines = [f"== {title} ==",
              f"{'metric':44s} {'value/count':>12s} "
-             f"{'mean':>10s} {'p50':>10s} {'p90':>10s} {'max':>10s} "
+             f"{'mean':>10s}{qcols} {'max':>10s} "
              f"{'trace':>10s}"]
     for metric in snapshot["metrics"]:
         for series in metric["series"]:
             label = metric["name"] + _label_str(series["labels"])
             if metric["kind"] == "histogram":
+                qvals = "".join(
+                    f" {_fmt(_series_quantile(series, q)):>10s}"
+                    for q in quantiles)
                 lines.append(
                     f"{label:44s} {series['count']:>12d} "
-                    f"{_fmt(series['mean']):>10s} "
-                    f"{_fmt(_series_quantile(series, 0.5)):>10s} "
-                    f"{_fmt(_series_quantile(series, 0.9)):>10s} "
+                    f"{_fmt(series['mean']):>10s}"
+                    f"{qvals} "
                     f"{_fmt(series['max']):>10s} "
                     f"{_max_exemplar(series):>10s}")
             else:
+                dashes = "".join(f" {'-':>10s}" for _ in quantiles)
                 lines.append(
                     f"{label:44s} {_fmt(series['value']):>12s} "
-                    f"{'-':>10s} {'-':>10s} {'-':>10s} {'-':>10s} "
+                    f"{'-':>10s}{dashes} {'-':>10s} "
                     f"{'-':>10s}")
     return "\n".join(lines)

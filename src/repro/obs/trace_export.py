@@ -40,6 +40,8 @@ __all__ = [
     "critical_path",
     "dominant_step",
     "trace_summary",
+    "aggregate_step_latencies",
+    "render_step_aggregate",
     "render_tree",
     "render_step_table",
     "render_critical_path_report",
@@ -136,6 +138,72 @@ def trace_summary(spans: Sequence[Span]) -> List[Dict[str, Any]]:
                                    if dom is not None else 0.0),
         })
     return out
+
+
+def _sorted_quantile(values: Sequence[float], q: float) -> float:
+    """Interpolated q-quantile of a pre-sorted sample list (0.0 empty)."""
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    rank = q * (len(values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(values) - 1)
+    frac = rank - lo
+    return values[lo] + (values[hi] - values[lo]) * frac
+
+
+def aggregate_step_latencies(spans: Sequence[Span],
+                             p: float = 0.95) -> List[Dict[str, Any]]:
+    """Cross-trace per-step latency aggregation.
+
+    One record per span name across *all* traces — count, errors,
+    mean/p-quantile/max duration, and total self time — sorted by name
+    so the output is deterministic.  This is the step-timing view the
+    SLO health report and ``legion-sim trace steps`` share, so latency
+    targets and trace tooling agree on what each protocol step costs.
+    """
+    children = children_of(spans)
+    rows: Dict[str, Dict[str, Any]] = {}
+    durations: Dict[str, List[float]] = {}
+    for span in spans:
+        row = rows.setdefault(span.name, {
+            "step": span.name, "count": 0, "errors": 0,
+            "total": 0.0, "self": 0.0, "max": 0.0})
+        row["count"] += 1
+        if span.status == "error":
+            row["errors"] += 1
+        row["total"] += span.duration
+        row["self"] += self_time(span, children)
+        row["max"] = max(row["max"], span.duration)
+        durations.setdefault(span.name, []).append(span.duration)
+    out: List[Dict[str, Any]] = []
+    for name in sorted(rows):
+        row = rows[name]
+        sample = sorted(durations[name])
+        row["mean"] = row["total"] / row["count"] if row["count"] else 0.0
+        row["quantile"] = p
+        row["p"] = _sorted_quantile(sample, p)
+        out.append(row)
+    return out
+
+
+def render_step_aggregate(rows: Sequence[Dict[str, Any]],
+                          title: str = "step latency across traces"
+                          ) -> str:
+    """Terminal table for :func:`aggregate_step_latencies` output."""
+    q_label = (f"p{rows[0]['quantile'] * 100:g}_s" if rows else "p95_s")
+    lines = [f"== {title} ==",
+             f"{'step':26s} {'count':>6s} {'errors':>6s} "
+             f"{'mean_s':>12s} {q_label:>12s} {'max_s':>12s} "
+             f"{'self_s':>12s}"]
+    for row in rows:
+        lines.append(
+            f"{row['step']:26s} {int(row['count']):>6d} "
+            f"{int(row['errors']):>6d} {row['mean']:>12.6f} "
+            f"{row['p']:>12.6f} {row['max']:>12.6f} "
+            f"{row['self']:>12.6f}")
+    return "\n".join(lines)
 
 
 def render_tree(spans: Sequence[Span],

@@ -228,6 +228,7 @@ class Scheduler:
         """
         start = self.transport.sim.now
         queries_before = self.collection_queries
+        metrics = self.transport.metrics
         outcome = SchedulingOutcome(ok=False)
         # the root of one placement trace: every protocol step below
         # (query, compute, negotiate, reserve, enact) parents under it
@@ -262,10 +263,17 @@ class Scheduler:
                             self.collection_queries - queries_before)
                         outcome.elapsed = self.transport.sim.now - start
                         root.set_attribute("ok", True)
+                        metrics.count("placement_requests_total",
+                                      ok="true")
+                        metrics.observe("placement_seconds",
+                                        outcome.elapsed, ok="true")
                         return outcome
                     outcome.detail = result.detail
             root.set_attribute("ok", False)
             root.set_status("error")
+            metrics.count("placement_requests_total", ok="false")
+            metrics.observe("placement_seconds",
+                            self.transport.sim.now - start, ok="false")
         outcome.collection_queries = self.collection_queries - queries_before
         outcome.elapsed = self.transport.sim.now - start
         return outcome

@@ -23,6 +23,11 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim guardrails --compare --out BENCH_guardrails.json
    $ legion-sim scale --out BENCH_scale.json
    $ legion-sim scale --sizes 16,32 --check BENCH_scale.json
+   $ legion-sim metrics --quantiles p50,p90,p99
+   $ legion-sim trace steps --count 6
+   $ legion-sim slo --window 30 --chaos-profile hosts --chaos-seed 1
+   $ legion-sim slo --guardrails --chaos-profile hosts --out slo.json
+   $ legion-sim slo --compare-guardrails --chaos-profile hosts
 
 ``repro-cli`` is an alias of the same entry point.
 
@@ -63,7 +68,9 @@ def _build_meta(args: argparse.Namespace) -> Metasystem:
         federation_cache_ttl=args.cache_ttl,
         chaos_profile=getattr(args, "chaos_profile", ""),
         chaos_seed=getattr(args, "chaos_seed", 0),
-        chaos_horizon=getattr(args, "chaos_horizon", 0.0)))
+        chaos_horizon=getattr(args, "chaos_horizon", 0.0),
+        guardrails=getattr(args, "guardrails", False),
+        sampler_window=getattr(args, "sampler_window", 0.0)))
 
 
 def _add_testbed_args(parser: argparse.ArgumentParser) -> None:
@@ -188,8 +195,10 @@ def cmd_run(args: argparse.Namespace, out) -> int:
 def cmd_trace(args: argparse.Namespace, out) -> int:
     """Run a seeded workload and analyse/export its span traces."""
     from ..obs.trace_export import (
+        aggregate_step_latencies,
         chrome_trace_json,
         render_critical_path_report,
+        render_step_aggregate,
         render_step_table,
         render_tree,
         spans_to_jsonl,
@@ -216,6 +225,12 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
                   f"tasks via {args.scheduler} (seed {args.seed})")
     elif args.mode == "critical-path":
         text = render_critical_path_report(spans)
+    elif args.mode == "steps":
+        text = render_step_aggregate(
+            aggregate_step_latencies(spans),
+            title=f"cross-trace step latency: {args.count} x "
+                  f"{args.work:.0f}-unit tasks via {args.scheduler} "
+                  f"(seed {args.seed})")
     else:  # chrome
         text = chrome_trace_json(spans, indent=2)
     if args.out:
@@ -228,6 +243,27 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
     else:
         print(text, file=out)
     return 0 if outcome.ok else 1
+
+
+def _parse_quantiles(text: str) -> tuple:
+    """Parse ``p50,p90,p99``-style quantile lists (bare floats work too)."""
+    quantiles = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            q = float(token[1:]) / 100.0 if token.lower().startswith("p") \
+                else float(token)
+        except ValueError:
+            raise ValueError(f"bad quantile {token!r}: expected e.g. "
+                             f"p50,p90,p99") from None
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile {token!r} out of range (0, 1)")
+        quantiles.append(q)
+    if not quantiles:
+        raise ValueError("no quantiles given")
+    return tuple(quantiles)
 
 
 def cmd_metrics(args: argparse.Namespace, out) -> int:
@@ -250,6 +286,11 @@ def cmd_metrics(args: argparse.Namespace, out) -> int:
     outcome = scheduler.run([ObjectClassRequest(app, count=args.count)])
     if outcome.ok and args.wait:
         wait_for_completion(meta, app, outcome.created)
+    try:
+        quantiles = _parse_quantiles(args.quantiles)
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
     snapshot = build_snapshot(meta.metrics)
     if args.format == "json":
         print(snapshot_to_json(snapshot, indent=2), file=out)
@@ -259,7 +300,8 @@ def cmd_metrics(args: argparse.Namespace, out) -> int:
         print(render_report(
             snapshot,
             title=f"metrics: {args.count} x {args.work:.0f}-unit tasks "
-                  f"via {args.scheduler} (seed {args.seed})"), file=out)
+                  f"via {args.scheduler} (seed {args.seed})",
+            quantiles=quantiles), file=out)
     return 0 if outcome.ok else 1
 
 
@@ -441,6 +483,116 @@ def cmd_guardrails(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_slo(args: argparse.Namespace, out) -> int:
+    """Run a seeded workload under windowed sampling and report SLO
+    health: error budgets, burn-rate alerts, breached-window exemplar
+    traces, and the critical-path steps behind them.
+
+    The exit status is nonzero when any error budget is exhausted
+    (suppress with ``--allow-exhausted``) — what the ``slo-smoke`` CI
+    job gates on, together with byte-identical reports across two
+    identical seeded runs.
+    """
+    import json
+
+    from ..obs.report import (
+        build_health_report,
+        health_report_to_json,
+        render_health_report,
+    )
+    from ..obs.slo import specs_from_dict
+
+    if args.window <= 0:
+        print(f"bad --window {args.window:g}: must be > 0", file=out)
+        return 2
+    specs = None
+    if args.spec:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                specs = specs_from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"bad --spec {args.spec!r}: {exc}", file=out)
+            return 2
+
+    if args.compare_guardrails:
+        from ..guardrails.compare import run_comparison
+        try:
+            cmp = run_comparison(
+                profile=args.chaos_profile or "hosts",
+                chaos_seed=args.chaos_seed, seed=args.seed,
+                scheduler=args.scheduler, waves=args.waves,
+                per_wave=args.count, work=args.work,
+                wave_interval=args.wave_interval,
+                n_domains=args.domains, hosts_per_domain=args.hosts,
+                platform_mix=args.platforms, background_load=args.load,
+                shards=args.shards, sampler_window=args.window)
+        except LegionError as exc:
+            print(f"slo error: {exc}", file=out)
+            return 2
+        print(cmp.summary(), file=out)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(cmp.to_json() + "\n")
+            print(f"wrote guardrails SLO comparison to {args.out}",
+                  file=out)
+        exhausted = cmp.reports["guardrails"].slo["exhausted"]
+        if exhausted and not args.allow_exhausted:
+            print(f"ERROR: {exhausted} error budget(s) exhausted with "
+                  f"guardrails on", file=out)
+            return 1
+        return 0
+
+    args.sampler_window = args.window
+    try:
+        meta = _build_meta(args)
+    except LegionError as exc:
+        print(f"slo error: {exc}", file=out)
+        return 2
+    if args.retry:
+        meta.enable_retries()
+    app = meta.create_class("cli-app",
+                            implementations_for_all_platforms(),
+                            work_units=args.work)
+    try:
+        scheduler = meta.make_scheduler(args.scheduler)
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+    for _wave in range(args.waves):
+        try:
+            scheduler.run([ObjectClassRequest(app, count=args.count)])
+        except LegionError:
+            pass
+        meta.advance(args.wave_interval)
+    if meta.chaos is not None:
+        meta.chaos.teardown()
+
+    meta.sampler.flush()
+    report = build_health_report(
+        meta.sampler,
+        list(specs) if specs is not None else meta.default_slos(),
+        spans=meta.spans.spans,
+        title=f"slo health: {args.waves} x {args.count} instances via "
+              f"{args.scheduler} (seed {args.seed}"
+              + (f", chaos {args.chaos_profile}/{args.chaos_seed}"
+                 if args.chaos_profile else "")
+              + (", guardrails" if args.guardrails else "") + ")",
+        include_windows=not args.no_windows)
+    if args.format == "json":
+        print(health_report_to_json(report), file=out)
+    else:
+        print(render_health_report(report), file=out)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(health_report_to_json(report) + "\n")
+        print(f"wrote SLO health report to {args.out}", file=out)
+    if not report["healthy"] and not args.allow_exhausted:
+        print("ERROR: error budget exhausted "
+              f"({report['minutes_lost']:g} SLO minutes lost)", file=out)
+        return 1
+    return 0
+
+
 def cmd_scale(args: argparse.Namespace, out) -> int:
     """Run the scale campaign and write/check the BENCH_scale.json ledger.
 
@@ -550,15 +702,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("table", "json", "prom"),
                    default="table",
                    help="output format (default table)")
+    p.add_argument("--quantiles", default="p50,p90", metavar="LIST",
+                   help="histogram quantile columns for the table "
+                        "format, e.g. p50,p90,p99 (default p50,p90)")
     p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("trace",
                        help="run a workload and analyse its span traces")
     p.add_argument("mode",
-                   choices=("tree", "summary", "critical-path", "chrome"),
+                   choices=("tree", "summary", "critical-path", "steps",
+                            "chrome"),
                    help="tree = ASCII trace trees, summary = per-step "
                         "latency table, critical-path = dominant step "
-                        "per request, chrome = trace-event JSON")
+                        "per request, steps = cross-trace per-step "
+                        "count/mean/p95 aggregate, chrome = trace-event "
+                        "JSON")
     _add_testbed_args(p)
     p.add_argument("--count", type=int, default=4)
     p.add_argument("--work", type=float, default=200.0)
@@ -644,6 +802,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="", metavar="FILE",
                    help="write the comparison JSON to FILE")
     p.set_defaults(fn=cmd_guardrails)
+
+    p = sub.add_parser("slo",
+                       help="run a workload under windowed sampling and "
+                            "report SLO health: error budgets, burn-rate "
+                            "alerts, and breached-window exemplar traces")
+    _add_testbed_args(p)
+    p.add_argument("--window", type=float, default=30.0,
+                   help="sampling window in virtual seconds (default 30)")
+    p.add_argument("--spec", default="", metavar="FILE",
+                   help="JSON file of SLO objectives ({\"slos\": [...]}; "
+                        "default: the stock Legion objectives)")
+    p.add_argument("--waves", type=int, default=6,
+                   help="placement waves to attempt (default 6)")
+    p.add_argument("--count", type=int, default=4,
+                   help="instances requested per wave (default 4)")
+    p.add_argument("--work", type=float, default=250.0)
+    p.add_argument("--wave-interval", type=float, default=90.0,
+                   help="virtual seconds between waves (default 90)")
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn")
+    p.add_argument("--chaos-profile", default="",
+                   help="arm a fault-injection campaign over the run "
+                        "(light | hosts | partitions | lossy | mixed | "
+                        "heavy)")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="campaign seed (independent of --seed)")
+    p.add_argument("--chaos-horizon", type=float, default=0.0,
+                   help="stop injecting after this much virtual time")
+    p.add_argument("--retry", action="store_true",
+                   help="enable the RetryPolicy resilience layer")
+    p.add_argument("--guardrails", action="store_true",
+                   help="enable the guardrails self-healing layer")
+    p.add_argument("--compare-guardrails", action="store_true",
+                   help="run the identical seeded campaign off / "
+                        "retries / guardrails and compare SLO minutes "
+                        "lost across the three modes")
+    p.add_argument("--format", choices=("table", "json"),
+                   default="table",
+                   help="output format (default table)")
+    p.add_argument("--no-windows", action="store_true",
+                   help="omit per-window verdict rows from the report")
+    p.add_argument("--allow-exhausted", action="store_true",
+                   help="exit 0 even when an error budget is exhausted")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the health report JSON to FILE")
+    p.set_defaults(fn=cmd_slo)
 
     p = sub.add_parser("scale",
                        help="run the scale campaign and write/check the "

@@ -84,6 +84,10 @@ class TestbedSpec:
     chaos_seed: int = 0
     #: campaign horizon override in virtual seconds (0 = profile default)
     chaos_horizon: float = 0.0
+    #: arm the windowed time-series sampler with this window length in
+    #: virtual seconds (0 disables; feeds the SLO engine and
+    #: ``legion-sim slo``)
+    sampler_window: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_domains < 1 or self.hosts_per_domain < 1:
@@ -140,6 +144,8 @@ def build_testbed(spec: Optional[TestbedSpec] = None, **kwargs) -> Metasystem:
         if kind:
             meta.add_batch_host(f"{domain}-cluster", domain,
                                 queue_kind=kind, nodes=spec.batch_nodes)
+    if spec.sampler_window:
+        meta.start_sampler(window=spec.sampler_window)
     if spec.guardrails:
         meta.enable_guardrails()
     if spec.chaos_profile:

@@ -106,6 +106,127 @@ class TestMetrics:
         assert "unknown scheduler" in text
 
 
+class TestMetricsQuantiles:
+    def test_custom_quantile_columns(self):
+        code, text = run_cli("metrics", "--count", "2", "--work", "50",
+                             "--load", "0", "--quantiles", "p50,p90,p99")
+        assert code == 0
+        header = text.splitlines()[1]
+        for col in ("p50", "p90", "p99"):
+            assert col in header
+
+    def test_bare_float_quantiles_accepted(self):
+        code, text = run_cli("metrics", "--count", "2", "--work", "50",
+                             "--load", "0", "--quantiles", "0.25,0.75")
+        assert code == 0
+        assert "p25" in text and "p75" in text
+
+    def test_bad_quantiles_are_usage_errors(self):
+        for bad in ("bogus", "p0", "p100", ","):
+            code, text = run_cli("metrics", "--quantiles", bad)
+            assert code == 2, bad
+
+
+class TestTraceSteps:
+    def test_steps_mode_aggregates_across_traces(self):
+        code, text = run_cli("trace", "steps", "--count", "3",
+                             "--work", "50", "--load", "0", "--wait")
+        assert code == 0
+        assert "cross-trace step latency" in text
+        assert "placement" in text
+        header = text.splitlines()[1]
+        for col in ("step", "count", "errors", "mean_s", "p95_s",
+                    "max_s", "self_s"):
+            assert col in header
+
+    def test_steps_deterministic(self):
+        args = ("trace", "steps", "--count", "2", "--seed", "3",
+                "--load", "0", "--wait")
+        assert run_cli(*args) == run_cli(*args)
+
+
+class TestSLOCommand:
+    CHAOS = ("--chaos-profile", "hosts", "--chaos-seed", "1")
+
+    def test_healthy_run_exits_zero(self):
+        code, text = run_cli("slo", "--waves", "3", "--load", "0",
+                             "--no-windows")
+        assert code == 0
+        assert "overall: HEALTHY" in text
+        assert "slo placement-latency" in text
+        assert "slo placement-success" in text
+        assert "slo reservation-success" in text
+
+    def test_chaotic_run_exhausts_budget_and_exits_nonzero(self):
+        code, text = run_cli("slo", *self.CHAOS, "--no-windows")
+        assert code == 1
+        assert "BUDGET EXHAUSTED" in text
+        assert "ERROR: error budget exhausted" in text
+
+    def test_allow_exhausted_suppresses_failure(self):
+        code, text = run_cli("slo", *self.CHAOS, "--allow-exhausted",
+                             "--no-windows")
+        assert code == 0
+
+    def test_json_output_is_byte_deterministic(self):
+        args = ("slo", *self.CHAOS, "--format", "json",
+                "--allow-exhausted")
+        a = run_cli(*args)
+        b = run_cli(*args)
+        assert a == b
+        import json
+        doc = json.loads(a[1])
+        assert doc["slos"] and "minutes_lost" in doc
+
+    def test_out_writes_report_json(self, tmp_path):
+        import json
+        path = tmp_path / "slo.json"
+        code, text = run_cli("slo", "--waves", "2", "--load", "0",
+                             "--out", str(path), "--no-windows")
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["healthy"]
+        assert f"wrote SLO health report to {path}" in text
+
+    def test_custom_spec_file(self, tmp_path):
+        import json
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"slos": [
+            {"name": "lenient", "kind": "latency", "target": 0.5,
+             "metric": "placement_seconds", "threshold": 10.0}]}))
+        code, text = run_cli("slo", "--waves", "2", "--load", "0",
+                             "--spec", str(path), "--no-windows")
+        assert code == 0
+        assert "slo lenient" in text
+        assert "placement-latency" not in text
+
+    def test_usage_errors(self, tmp_path):
+        code, _ = run_cli("slo", "--window", "0")
+        assert code == 2
+        code, _ = run_cli("slo", "--spec", str(tmp_path / "missing.json"))
+        assert code == 2
+        code, _ = run_cli("slo", "--scheduler", "sorcery")
+        assert code == 2
+
+    def test_compare_guardrails_reduces_slo_damage(self):
+        code, text = run_cli(
+            "slo", "--compare-guardrails", *self.CHAOS,
+            "--domains", "3", "--hosts", "6", "--platforms", "3",
+            "--waves", "8")
+        assert code == 0
+        assert "slo minutes lost" in text
+        lost = {}
+        for line in text.splitlines():
+            if "slo minutes lost" in line:
+                for part in line.split(":")[1].split(","):
+                    mode, value = part.split()
+                    lost[mode] = float(value)
+        # the acceptance criterion: chaos consumes SLO budget and
+        # guardrails measurably reduces the damage
+        assert lost["off"] > 0
+        assert lost["guardrails"] < lost["off"]
+
+
 class TestBench:
     def test_bench_compares_schedulers(self):
         code, text = run_cli("bench", "--count", "3", "--work", "50",

@@ -1,0 +1,212 @@
+"""Unit tests for windowed time-series telemetry (repro.obs.timeseries).
+
+Covers per-kind window semantics (counter delta/rate, gauge-last,
+histogram bucket deltas + fresh exemplars), the bounded ring, flush,
+byte-stable JSONL export, sparklines, the NullMetricsRegistry parity
+contract, and sampler no-ops under NULL_METRICS.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+    MetricsSampler,
+    NullMetricsRegistry,
+    Window,
+    series_key,
+    sparkline,
+    windows_to_jsonl,
+)
+from repro.sim.kernel import Simulator
+
+
+def make_sampler(window=10.0, max_windows=256):
+    sim = Simulator()
+    reg = MetricsRegistry(clock=lambda: sim.now)
+    sampler = MetricsSampler(sim, reg, window=window,
+                             max_windows=max_windows).start()
+    return sim, reg, sampler
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("m", {}) == "m"
+
+    def test_labels_sorted(self):
+        assert series_key("m", {"b": "2", "a": "1"}) == 'm{a="1",b="2"}'
+
+
+class TestWindowSemantics:
+    def test_counter_delta_total_rate(self):
+        sim, reg, sampler = make_sampler(window=10.0)
+        reg.count("reqs_total", n=3, path="scan")
+        sim.run_until(10.0)
+        reg.count("reqs_total", n=5, path="scan")
+        sim.run_until(20.0)
+        rows = [w.get('reqs_total{path="scan"}') for w in sampler.windows]
+        assert [r["delta"] for r in rows] == [3.0, 5.0]
+        assert [r["total"] for r in rows] == [3.0, 8.0]
+        assert rows[1]["rate"] == pytest.approx(0.5)
+
+    def test_gauge_reads_last_value(self):
+        sim, reg, sampler = make_sampler(window=10.0)
+        reg.set_gauge("depth", 4)
+        reg.set_gauge("depth", 9)
+        sim.run_until(10.0)
+        assert sampler.windows[0].get("depth")["value"] == 9.0
+
+    def test_histogram_bucket_deltas_are_noncumulative(self):
+        sim, reg, sampler = make_sampler(window=10.0)
+        for x in (0.5, 1.5, 1.5):
+            reg.observe("lat", x, buckets=(1.0, 2.0))
+        sim.run_until(10.0)
+        reg.observe("lat", 0.7, buckets=(1.0, 2.0))
+        sim.run_until(20.0)
+        first = sampler.windows[0].get("lat")
+        second = sampler.windows[1].get("lat")
+        assert first["count"] == 3 and first["sum"] == pytest.approx(3.5)
+        assert first["buckets"] == [["1.0", 1], ["2.0", 2], ["+Inf", 0]]
+        # the second window sees only its own observation
+        assert second["count"] == 1
+        assert second["buckets"] == [["1.0", 1], ["2.0", 0], ["+Inf", 0]]
+
+    def test_fresh_exemplars_only(self):
+        sim, reg, sampler = make_sampler(window=10.0)
+        reg.set_exemplar_provider(lambda: "t1")
+        reg.observe("lat", 0.5, buckets=(1.0,))
+        sim.run_until(10.0)
+        sim.run_until(20.0)  # nothing new observed
+        reg.set_exemplar_provider(lambda: "t2")
+        reg.observe("lat", 0.6, buckets=(1.0,))
+        sim.run_until(30.0)
+        exemplars = [w.get("lat")["exemplars"] for w in sampler.windows]
+        assert exemplars == [["t1"], [], ["t2"]]
+
+    def test_matching_filters_by_label_subset(self):
+        window = Window(index=0, start=0.0, end=1.0, series={
+            'm{a="1",b="2"}': {"name": "m", "kind": "counter",
+                               "labels": {"a": "1", "b": "2"}},
+            'm{a="2",b="2"}': {"name": "m", "kind": "counter",
+                               "labels": {"a": "2", "b": "2"}},
+            "other": {"name": "other", "kind": "counter", "labels": {}},
+        })
+        assert len(window.matching("m")) == 2
+        assert len(window.matching("m", {"a": "1"})) == 1
+        assert window.matching("m", {"a": "3"}) == []
+
+
+class TestSamplerLifecycle:
+    def test_ring_is_bounded_and_counts_drops(self):
+        sim, reg, sampler = make_sampler(window=1.0, max_windows=3)
+        sim.run_until(10.0)
+        assert len(sampler) == 3
+        assert sampler.dropped == 7
+        assert [w.index for w in sampler.windows] == [7, 8, 9]
+
+    def test_flush_closes_partial_window(self):
+        sim, reg, sampler = make_sampler(window=10.0)
+        sim.run_until(10.0)
+        reg.count("c")
+        sim.run_until(14.0)
+        window = sampler.flush()
+        assert window is not None
+        assert (window.start, window.end) == (10.0, 14.0)
+        assert window.get("c")["delta"] == 1.0
+        # flushing again on the same boundary is a no-op
+        assert sampler.flush() is None
+
+    def test_stop_halts_sampling(self):
+        sim, reg, sampler = make_sampler(window=10.0)
+        sim.run_until(10.0)
+        sampler.stop()
+        sim.run_until(50.0)
+        assert len(sampler) == 1
+
+    def test_column_extracts_per_window_values(self):
+        sim, reg, sampler = make_sampler(window=10.0)
+        reg.count("c", n=2)
+        sim.run_until(10.0)
+        sim.run_until(20.0)
+        reg.count("c", n=6)
+        sim.run_until(30.0)
+        assert sampler.column("c", "delta") == [2.0, 0.0, 6.0]
+
+    def test_rejects_bad_parameters(self):
+        sim = Simulator()
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            MetricsSampler(sim, reg, window=0.0)
+        with pytest.raises(ValueError):
+            MetricsSampler(sim, reg, max_windows=0)
+
+    def test_jsonl_export_is_byte_stable(self):
+        def run():
+            sim, reg, sampler = make_sampler(window=5.0)
+            reg.count("c", n=2, path="scan")
+            reg.observe("lat", 0.5, buckets=(1.0,))
+            sim.run_until(12.0)
+            sampler.flush()
+            return windows_to_jsonl(sampler.windows)
+
+        text = run()
+        assert text == run()
+        lines = text.strip().split("\n")
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)  # every line is valid standalone JSON
+
+
+class TestSparkline:
+    def test_scales_to_max(self):
+        line = sparkline([0.0, 1.0, 2.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == " "          # zero renders as a gap
+        assert line[-1] == "@"          # max renders at full height
+
+    def test_width_keeps_most_recent(self):
+        assert len(sparkline([1.0] * 10, width=4)) == 4
+
+    def test_degenerate_inputs(self):
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "  "
+
+
+class TestNullRegistryParity:
+    def test_every_public_registry_attr_exists_on_null(self):
+        """NullMetricsRegistry must be substitutable anywhere a
+        MetricsRegistry flows — every public method/attribute of the
+        real registry exists (and is callable where callable)."""
+        real = MetricsRegistry()
+        null = NullMetricsRegistry()
+        for attr in dir(real):
+            if attr.startswith("_"):
+                continue
+            assert hasattr(null, attr), (
+                f"NullMetricsRegistry lacks {attr!r}")
+            if callable(getattr(real, attr)):
+                assert callable(getattr(null, attr)), (
+                    f"NullMetricsRegistry.{attr} is not callable")
+
+    def test_sampler_over_null_registry_is_a_no_op(self):
+        sim = Simulator()
+        sampler = MetricsSampler(sim, NULL_METRICS, window=5.0).start()
+        NULL_METRICS.count("c", n=5)
+        NULL_METRICS.observe("lat", 0.5)
+        sim.run_until(20.0)
+        sampler.flush()
+        assert all(w.series == {} for w in sampler.windows)
+
+    def test_slo_eval_over_null_windows_is_healthy(self):
+        from repro.obs import default_legion_slos, evaluate_slos
+        sim = Simulator()
+        sampler = MetricsSampler(sim, NULL_METRICS, window=5.0).start()
+        sim.run_until(20.0)
+        results = evaluate_slos(default_legion_slos(), sampler.windows)
+        for result in results:
+            assert result.total == 0
+            assert not result.exhausted
+            assert result.compliance == 1.0
+            assert result.alerts == []
