@@ -41,6 +41,17 @@ from .hosts import (
     UnixHost,
 )
 from .collection import Collection, DataCollectionDaemon
+from .economy import (
+    BudgetManager,
+    EconomyComparison,
+    EconomyConfig,
+    EconomyReport,
+    EconomyScheduler,
+    Market,
+    SealedBidAuction,
+    run_economy,
+    run_economy_comparison,
+)
 from .enactor import Enactor, EnactResult
 from .federation import (
     ConsistentHashRing,
@@ -117,4 +128,8 @@ __all__ = [
     # chaos
     "ChaosInjector", "ChaosPlan", "FaultEvent", "ResilienceReport",
     "RetryPolicy", "generate_campaign", "run_campaign",
+    # economy
+    "BudgetManager", "EconomyComparison", "EconomyConfig",
+    "EconomyReport", "EconomyScheduler", "Market", "SealedBidAuction",
+    "run_economy", "run_economy_comparison",
 ]

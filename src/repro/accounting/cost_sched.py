@@ -74,6 +74,12 @@ class CostAwareScheduler(Scheduler):
             class_obj = request.class_obj
             records = self.viable_hosts(class_obj,
                                         extra_query="$host_slots_free > 0")
+            # belt-and-braces: viable_hosts already drops DOWN records,
+            # but results that arrive through an overridden/stale lookup
+            # path (e.g. a federation query cache) must never let a dead
+            # host win the cheapest-feasible ranking
+            records = [r for r in records
+                       if r.get("host_health") != "down"]
             if not records:
                 raise SchedulingError(
                     f"no viable hosts for class {class_obj.name!r}")

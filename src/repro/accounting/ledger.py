@@ -44,6 +44,10 @@ class Ledger:
         self._clock = clock or (lambda: 0.0)
         self.records: List[ChargeRecord] = []
         self._attached: List[HostObject] = []
+        #: optional post hook, called with each ChargeRecord as it lands —
+        #: the economy's BudgetManager installs itself here to turn
+        #: metered cycles into per-user spend
+        self.on_post = None
 
     # -- attachment -----------------------------------------------------------
     def attach(self, host: HostObject) -> None:
@@ -61,14 +65,22 @@ class Ledger:
     # -- posting --------------------------------------------------------------
     def post(self, host: HostObject, instance: LegionObject,
              cycles: float) -> ChargeRecord:
+        # the rate quoted when the instance was admitted wins over the
+        # host's *current* price: with a live market the ask may have
+        # moved while the job ran, but the fare was agreed at the start
+        price = instance.attributes.get("price_at_start")
+        if price is None:
+            price = host.price
         record = ChargeRecord(
             time=self._clock(),
             host_loid=host.loid,
             instance_loid=instance.loid,
             class_loid=instance.class_loid,
             cycles=float(cycles),
-            price_per_cycle=float(host.price))
+            price_per_cycle=float(price))
         self.records.append(record)
+        if self.on_post is not None:
+            self.on_post(record)
         return record
 
     # -- reporting --------------------------------------------------------------

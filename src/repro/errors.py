@@ -220,6 +220,15 @@ class MigrationError(LegionError):
     """Object migration (deactivate / move OPR / reactivate) failed."""
 
 
+class BudgetExceededError(SchedulingError):
+    """An economic scheduler could not place within the user's remaining
+    budget (no feasible host clears the auction under the spend cap).
+
+    A subclass of :class:`SchedulingError` so the generic negotiate/enact
+    wrapper degrades to a failed :class:`SchedulingOutcome` instead of
+    crashing the placement loop."""
+
+
 # ---------------------------------------------------------------------------
 # Chaos / fault injection
 # ---------------------------------------------------------------------------

@@ -284,6 +284,10 @@ class HostObject(LegionObject):
             self.placed[instance.loid] = placed
             instance.host_loid = self.loid
             instance.vault_loid = vault_loid
+            # quote the metered rate at admission: billing (Ledger.post)
+            # charges this price even if the market reprices the host
+            # while the job runs — the fare is agreed when service starts
+            instance.attributes.set("price_at_start", self.price, now=now)
             self.starts += 1
             self.metrics.count("host_starts_total", ok="true")
             sp.set_attribute("ok", True)

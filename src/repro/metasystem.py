@@ -42,6 +42,7 @@ from .hosts.policy import PlacementPolicy
 from .hosts.unix_host import UnixHost
 from .monitor.migration import Migrator
 from .monitor.monitor import ExecutionMonitor
+from .accounting.cost_sched import CostAwareScheduler
 from .naming.context import ContextSpace
 from .naming.loid import LOID, LOIDMinter
 from .net.latency import LatencyModel, MetasystemLatencyModel
@@ -74,6 +75,7 @@ __all__ = ["Metasystem"]
 _SCHEDULER_KINDS = {
     "random": RandomScheduler,
     "irs": IRSScheduler,
+    "cost": CostAwareScheduler,
     "load": LoadAwareScheduler,
     "load-aware": LoadAwareScheduler,
     "mct": MCTScheduler,
@@ -98,7 +100,8 @@ class Metasystem:
                  federation: Any = None,
                  chaos: Any = None,
                  guardrails: Any = None,
-                 sampler: Any = None):
+                 sampler: Any = None,
+                 economy: Any = None):
         if tracing not in ("off", "flat", "spans"):
             raise ValueError(
                 f"tracing must be 'off', 'flat' or 'spans', got {tracing!r}")
@@ -203,6 +206,16 @@ class Metasystem:
                 self.start_sampler()
             else:
                 self.start_sampler(window=float(sampler))
+
+        # the economy knob: True enables the computational-economy layer
+        # (market pricing, budgets, auctions) with defaults, or pass an
+        # EconomyConfig; hosts added later are wired by _wire_host
+        self.economy: Optional[Any] = None
+        if economy:
+            if economy is True:
+                self.enable_economy()
+            else:
+                self.enable_economy(config=economy)
 
     # ------------------------------------------------------------------
     # federation
@@ -341,6 +354,9 @@ class Metasystem:
         if self.guardrails is not None:
             host.admission = self.guardrails.admission
             self.guardrails.monitor.watch(host, credential)
+        if self.economy is not None:
+            self.economy.ledger.attach(host)
+            self.economy.market.enroll(host)
         host.start_periodic_reassessment()
 
     def add_unix_host(self, name: str, domain: str,
@@ -504,12 +520,41 @@ class Metasystem:
     # RMI services
     # ------------------------------------------------------------------
     def make_scheduler(self, kind: str = "random", **kwargs) -> Scheduler:
-        """Instantiate one of the bundled Schedulers, fully wired."""
+        """Instantiate one of the bundled Schedulers, fully wired.
+
+        ``kind="economy"`` (or the explicit ``"economy-cost"`` /
+        ``"economy-time"`` spellings) builds an
+        :class:`~repro.economy.sched.EconomyScheduler`, enabling the
+        economy layer on demand and auto-provisioning the named
+        ``user=`` account at the config's default budget/deadline if it
+        does not exist yet.
+        """
+        if kind in ("economy", "economy-cost", "economy-time"):
+            from .economy import EconomyScheduler
+            suite = self.enable_economy()
+            mode = kwargs.pop("mode", None)
+            if mode is None:
+                mode = "time" if kind == "economy-time" else "cost"
+            user = kwargs.pop("user", "default")
+            suite.budgets.ensure(user,
+                                 budget=suite.config.default_budget,
+                                 deadline=suite.config.default_deadline)
+            rng = kwargs.pop("rng", None)
+            if rng is None:
+                rng = self.rngs.stream("scheduler", kind, user)
+            kwargs.setdefault("bid_escalation",
+                              suite.config.bid_escalation)
+            kwargs.setdefault("escalation_onset",
+                              suite.config.escalation_onset)
+            return EconomyScheduler(
+                self.collection, self.enactor, self.transport, rng=rng,
+                budgets=suite.budgets, auction=suite.auction,
+                market=suite.market, user=user, mode=mode, **kwargs)
         cls = _SCHEDULER_KINDS.get(kind)
         if cls is None:
             raise ValueError(
                 f"unknown scheduler kind {kind!r}; choose from "
-                f"{sorted(_SCHEDULER_KINDS)}")
+                f"{sorted([*_SCHEDULER_KINDS, 'economy', 'economy-cost', 'economy-time'])}")
         rng = kwargs.pop("rng", None)
         if rng is None:
             rng = self.rngs.stream("scheduler", kind)
@@ -697,6 +742,68 @@ class Metasystem:
         monitor.start()
         self.guardrails = GuardrailSuite(config, monitor, board, admission)
         return self.guardrails
+
+    def enable_economy(self, config: Any = None, **kwargs) -> Any:
+        """Install the computational-economy layer (ROADMAP item 3):
+
+        * a metered accounting :class:`~repro.accounting.ledger.Ledger`
+          attached to every Host (cycles x price on completion/kill),
+        * a :class:`~repro.economy.market.Market` that prices hosts from
+          speed and repricess them from load/utilization on a seeded
+          daemon, publishing ``host_ask_price`` into Collection records,
+        * a :class:`~repro.economy.budget.BudgetManager` hooked into the
+          ledger so charges land on per-user accounts,
+        * a :class:`~repro.economy.auction.SealedBidAuction` the economic
+          schedulers clear their reservation rounds through.
+
+        Idempotent — a second call returns the existing suite.  Market
+        jitter draws only from the dedicated ``("economy", "market")``
+        stream, so enabling the economy never perturbs the other seeded
+        streams of an existing scenario.  Keyword overrides build an
+        :class:`~repro.economy.config.EconomyConfig`.
+        """
+        from .accounting.ledger import Ledger
+        from .economy import (
+            BudgetManager,
+            EconomyConfig,
+            EconomySuite,
+            Market,
+            SealedBidAuction,
+        )
+        if self.economy is not None:
+            return self.economy
+        if config is None:
+            config = EconomyConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either config= or keyword overrides, "
+                             "not both")
+        ledger = Ledger(clock=lambda: self.sim.now)
+        budgets = BudgetManager(clock=lambda: self.sim.now,
+                                metrics=self.metrics)
+        budgets.attach_ledger(ledger)
+        market = Market(
+            self.sim, rng=self.rngs.stream("economy", "market"),
+            base_price=config.base_price,
+            speed_premium=config.speed_premium,
+            load_factor=config.load_factor,
+            util_factor=config.util_factor,
+            repricing_interval=config.repricing_interval,
+            repricing_jitter=config.repricing_jitter,
+            demand_bump=config.demand_bump,
+            metrics=self.metrics, spans=self.spans)
+        auction = SealedBidAuction(pricing=config.auction_pricing,
+                                   metrics=self.metrics)
+        for host in self.hosts:
+            ledger.attach(host)
+            market.enroll(host)
+        market.start()
+        self.metrics.gauge_fn("economy_budget_committed",
+                              lambda: budgets.total_committed,
+                              help="funds held against pending placements")
+        self.economy = EconomySuite(config=config, market=market,
+                                    auction=auction, budgets=budgets,
+                                    ledger=ledger)
+        return self.economy
 
     def enable_retries(self, policy: Any = None, **kwargs) -> Any:
         """Install the opt-in resilience layer: a shared RetryPolicy on

@@ -28,6 +28,10 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim slo --window 30 --chaos-profile hosts --chaos-seed 1
    $ legion-sim slo --guardrails --chaos-profile hosts --out slo.json
    $ legion-sim slo --compare-guardrails --chaos-profile hosts
+   $ legion-sim run --count 4 --scheduler cost
+   $ legion-sim economy --mode cost --users 3 --budget 100
+   $ legion-sim economy --mode time --chaos-profile lossy --retry
+   $ legion-sim economy --compare-baselines --out BENCH_economy.json
 
 ``repro-cli`` is an alias of the same entry point.
 
@@ -640,6 +644,59 @@ def cmd_scale(args: argparse.Namespace, out) -> int:
     return status
 
 
+def cmd_economy(args: argparse.Namespace, out) -> int:
+    """Run a seeded computational-economy campaign: per-user budgets and
+    deadlines, market ask pricing, and reservation auctions.
+
+    With ``--compare-baselines`` (the headline mode) the identical seeded
+    world is replayed under the economy scheduler and each baseline; the
+    exit status is nonzero unless the economy beats Random *and* IRS on
+    both deadline-miss rate and total metered cost — what the
+    ``economy-smoke`` CI job gates on.
+    """
+    from ..economy.campaign import run_economy, run_economy_comparison
+    kwargs = dict(mode=args.mode, seed=args.seed,
+                  chaos_profile=args.chaos_profile or None,
+                  chaos_seed=args.chaos_seed,
+                  guardrails=args.guardrails, retry=args.retry,
+                  users=args.users, budget=args.budget,
+                  deadline=args.deadline,
+                  waves=args.waves, per_wave=args.count, work=args.work,
+                  wave_interval=args.wave_interval,
+                  deadline_safety=args.deadline_safety,
+                  n_domains=args.domains, hosts_per_domain=args.hosts,
+                  platform_mix=args.platforms,
+                  background_load=args.load)
+    try:
+        if args.compare_baselines:
+            cmp = run_economy_comparison(**kwargs)
+            print(cmp.summary(), file=out)
+            print(file=out)
+            print(cmp.reports["economy"].summary(), file=out)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(cmp.to_json() + "\n")
+                print(f"wrote economy comparison to {args.out}", file=out)
+            if not cmp.economy_beats_baselines:
+                losses = [b for b in cmp.gate_baselines
+                          if not cmp.beats(b)]
+                print(f"ERROR: economy does not beat "
+                      f"{', '.join(losses)} on both deadline-miss rate "
+                      f"and total cost", file=out)
+                return 1
+            return 0
+        report = run_economy(scheduler=args.scheduler, **kwargs)
+        print(report.summary(), file=out)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json() + "\n")
+            print(f"wrote EconomyReport to {args.out}", file=out)
+        return 0
+    except (LegionError, ValueError) as exc:
+        print(f"economy error: {exc}", file=out)
+        return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="legion-sim",
@@ -669,7 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=4)
     p.add_argument("--work", type=float, default=200.0)
     p.add_argument("--scheduler", default="irs",
-                   help="random | irs | load | mct | round-robin | kofn")
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
     p.add_argument("--wait", action="store_true",
                    help="advance virtual time until completion")
     p.add_argument("--trace", type=int, default=0, metavar="N",
@@ -696,7 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=4)
     p.add_argument("--work", type=float, default=200.0)
     p.add_argument("--scheduler", default="irs",
-                   help="random | irs | load | mct | round-robin | kofn")
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
     p.add_argument("--wait", action="store_true",
                    help="advance virtual time until completion")
     p.add_argument("--format", choices=("table", "json", "prom"),
@@ -721,7 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=4)
     p.add_argument("--work", type=float, default=200.0)
     p.add_argument("--scheduler", default="irs",
-                   help="random | irs | load | mct | round-robin | kofn")
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
     p.add_argument("--wait", action="store_true",
                    help="advance virtual time until completion")
     p.add_argument("--out", default="", metavar="FILE",
@@ -738,7 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=4)
     p.add_argument("--work", type=float, default=200.0)
     p.add_argument("--scheduler", default="irs",
-                   help="random | irs | load | mct | round-robin | kofn")
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
     p.add_argument("--wait", action="store_true",
                    help="advance virtual time until completion")
     p.set_defaults(fn=cmd_federation)
@@ -762,7 +819,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=0.0,
                    help="campaign horizon override in virtual seconds")
     p.add_argument("--scheduler", default="irs",
-                   help="random | irs | load | mct | round-robin | kofn")
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
     p.add_argument("--retry", action="store_true",
                    help="enable the RetryPolicy resilience layer")
     p.add_argument("--guardrails", action="store_true",
@@ -793,7 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=0.0,
                    help="campaign horizon override in virtual seconds")
     p.add_argument("--scheduler", default="irs",
-                   help="random | irs | load | mct | round-robin | kofn")
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
     p.add_argument("--compare", action="store_true",
                    help="print only the three-mode comparison table "
                         "(omits the full guardrails-mode report)")
@@ -821,7 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wave-interval", type=float, default=90.0,
                    help="virtual seconds between waves (default 90)")
     p.add_argument("--scheduler", default="irs",
-                   help="random | irs | load | mct | round-robin | kofn")
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
     p.add_argument("--chaos-profile", default="",
                    help="arm a fault-injection campaign over the run "
                         "(light | hosts | partitions | lossy | mixed | "
@@ -862,7 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="experiment seed (default 0)")
     p.add_argument("--scheduler", default="irs",
-                   help="random | irs | load | mct | round-robin | kofn")
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
     p.add_argument("--members", type=int, default=4096,
                    help="member count for the query-engine microbench "
                         "(default 4096)")
@@ -878,6 +935,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="", metavar="FILE",
                    help="write the scale ledger JSON to FILE")
     p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser("economy",
+                       help="run a computational-economy campaign: "
+                            "budgets, deadlines, market pricing, and "
+                            "reservation auctions")
+    _add_testbed_args(p)
+    p.add_argument("--mode", choices=("time", "cost"), default="cost",
+                   help="economy optimization mode: minimize completion "
+                        "time within budget, or cost within deadline "
+                        "(default cost)")
+    p.add_argument("--scheduler", default="economy",
+                   help="economy | random | irs | cost (single-report "
+                        "mode only; default economy)")
+    p.add_argument("--users", type=int, default=2,
+                   help="concurrent users, each with their own budget, "
+                        "deadline, and application class (default 2)")
+    p.add_argument("--budget", type=float, default=40.0,
+                   help="per-user budget in currency units (default 40)")
+    p.add_argument("--deadline", type=float, default=900.0,
+                   help="per-user experiment deadline in virtual seconds "
+                        "from first submission (default 900)")
+    p.add_argument("--deadline-safety", type=float, default=0.6,
+                   help="fraction of the remaining deadline a host's "
+                        "estimated completion must fit within "
+                        "(default 0.6)")
+    p.add_argument("--waves", type=int, default=6,
+                   help="placement waves per user (default 6)")
+    p.add_argument("--count", type=int, default=2,
+                   help="instances requested per user per wave "
+                        "(default 2)")
+    p.add_argument("--work", type=float, default=250.0)
+    p.add_argument("--wave-interval", type=float, default=90.0,
+                   help="virtual seconds between waves (default 90)")
+    p.add_argument("--chaos-profile", default="",
+                   help="arm a fault-injection campaign over the run "
+                        "(light | hosts | partitions | lossy | mixed | "
+                        "heavy)")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="campaign seed (independent of --seed)")
+    p.add_argument("--guardrails", action="store_true",
+                   help="enable the guardrails self-healing layer")
+    p.add_argument("--retry", action="store_true",
+                   help="enable the RetryPolicy resilience layer")
+    p.add_argument("--compare-baselines", action="store_true",
+                   help="replay the identical seeded campaign under "
+                        "random/irs/cost baselines; exit nonzero unless "
+                        "the economy beats random and irs on both "
+                        "deadline-miss rate and total cost")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the report/comparison JSON to FILE")
+    p.set_defaults(fn=cmd_economy)
 
     p = sub.add_parser("bench", help="compare schedulers on one workload")
     _add_testbed_args(p)

@@ -88,6 +88,9 @@ class TestbedSpec:
     #: virtual seconds (0 disables; feeds the SLO engine and
     #: ``legion-sim slo``)
     sampler_window: float = 0.0
+    #: enable the computational-economy layer (market pricing, budgets,
+    #: auctions — :meth:`~repro.metasystem.Metasystem.enable_economy`)
+    economy: bool = False
 
     def __post_init__(self) -> None:
         if self.n_domains < 1 or self.hosts_per_domain < 1:
@@ -146,6 +149,8 @@ def build_testbed(spec: Optional[TestbedSpec] = None, **kwargs) -> Metasystem:
                                 queue_kind=kind, nodes=spec.batch_nodes)
     if spec.sampler_window:
         meta.start_sampler(window=spec.sampler_window)
+    if spec.economy:
+        meta.enable_economy()
     if spec.guardrails:
         meta.enable_guardrails()
     if spec.chaos_profile:

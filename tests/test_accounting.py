@@ -5,6 +5,7 @@ import pytest
 from repro import Implementation, MachineSpec, Metasystem, ObjectClassRequest
 from repro.accounting import CostAwareScheduler, Ledger
 from repro.objects import Placement
+from repro.scheduler import Scheduler
 from repro.workload import wait_for_completion
 
 
@@ -151,3 +152,75 @@ class TestCostAwareScheduler:
         with pytest.raises(ValueError):
             CostAwareScheduler(meta.collection, meta.enactor,
                                meta.transport, deadline=0.0)
+
+    def test_exactly_deadline_boundary_is_feasible(self, market):
+        meta, app, _ledger = market
+        # 100 units at speed 1, load 0: estimated completion is exactly
+        # 100 s — a deadline of exactly 100 s must still buy cheap
+        sched = CostAwareScheduler(meta.collection, meta.enactor,
+                                   meta.transport, deadline=100.0)
+        rl = sched.compute_schedule([ObjectClassRequest(app, 2)])
+        cheap = {meta.hosts[0].loid, meta.hosts[1].loid}
+        for m in rl.masters[0].entries:
+            assert m.host_loid in cheap
+        # one tick tighter and the cheap estimate no longer fits
+        tight = CostAwareScheduler(meta.collection, meta.enactor,
+                                   meta.transport, deadline=99.999)
+        rl2 = tight.compute_schedule([ObjectClassRequest(app, 1)])
+        assert rl2.masters[0].entries[0].host_loid not in cheap
+
+    def test_zero_price_host_wins_and_bills_nothing(self):
+        meta = Metasystem(seed=42)
+        meta.add_domain("d")
+        meta.add_unix_host("free", "d",
+                           MachineSpec(arch="sparc", os_name="SunOS"),
+                           slots=4, price=0.0)
+        meta.add_unix_host("paid", "d",
+                           MachineSpec(arch="sparc", os_name="SunOS"),
+                           slots=4, price=0.05)
+        meta.add_vault("d")
+        app = meta.create_class("A", [Implementation("sparc", "SunOS")],
+                                work_units=100.0)
+        ledger = Ledger(clock=lambda: meta.now)
+        ledger.attach_all(meta.hosts)
+        sched = CostAwareScheduler(meta.collection, meta.enactor,
+                                   meta.transport, deadline=1e9)
+        outcome = sched.run([ObjectClassRequest(app, 1)])
+        assert outcome.ok
+        assert outcome.feedback.reserved_entries[0].host_loid == \
+            meta.hosts[0].loid
+        wait_for_completion(meta, app, outcome.created)
+        assert ledger.total == pytest.approx(0.0)
+        assert len(ledger) == 1  # metered, just at a zero rate
+
+    def test_queued_backlog_raises_estimate(self, market):
+        meta, app, _ledger = market
+        sched = CostAwareScheduler(meta.collection, meta.enactor,
+                                   meta.transport, deadline=1e9)
+        record = sched.viable_hosts(app)[0]
+        base = sched.estimated_completion(record, 100.0)
+        assert sched.estimated_completion(record, 100.0, queued=2) == \
+            pytest.approx(3.0 * base)
+
+    def test_down_marked_record_never_wins(self, market):
+        """Regression: a stale lookup path can hand the scheduler a
+        record whose host the HealthMonitor has since marked DOWN — the
+        belt-and-braces filter must keep it out of the ranking even when
+        it would be the cheapest feasible choice."""
+        meta, app, _ledger = market
+        cheap = {meta.hosts[0].loid, meta.hosts[1].loid}
+
+        class StaleLookup(CostAwareScheduler):
+            def viable_hosts(self, class_obj, extra_query=""):
+                records = Scheduler.query_collection(
+                    self, "$host_slots_free > 0")
+                for r in records:
+                    if r.member in cheap:
+                        r.attributes["host_health"] = "down"
+                return records
+
+        sched = StaleLookup(meta.collection, meta.enactor,
+                            meta.transport, deadline=1e9)
+        rl = sched.compute_schedule([ObjectClassRequest(app, 2)])
+        for m in rl.masters[0].entries:
+            assert m.host_loid not in cheap

@@ -283,3 +283,38 @@ class TestFederationCommand:
         _, first = run_cli(*args)
         _, second = run_cli(*args)
         assert first == second
+
+
+class TestEconomyCommand:
+    def test_run_accepts_cost_scheduler(self):
+        code, text = run_cli("run", "--count", "2", "--scheduler", "cost")
+        assert code == 0
+        assert "placed 2 instance(s) via cost" in text
+
+    def test_run_accepts_economy_scheduler(self):
+        code, text = run_cli("run", "--count", "2",
+                             "--scheduler", "economy")
+        assert code == 0
+        assert "placed 2 instance(s) via economy" in text
+
+    def test_single_report(self):
+        code, text = run_cli("economy", "--users", "2", "--waves", "2",
+                             "--count", "1", "--domains", "2",
+                             "--hosts", "3")
+        assert code == 0
+        assert "economy campaign: scheduler=economy" in text
+        assert "deadline:" in text and "auction:" in text
+        assert "user u0:" in text and "user u1:" in text
+
+    def test_report_out_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        args = ("economy", "--users", "2", "--waves", "2", "--count",
+                "1", "--domains", "2", "--hosts", "3", "--mode", "time")
+        code, _ = run_cli(*args, "--out", str(a))
+        assert code == 0
+        run_cli(*args, "--out", str(b))
+        assert a.read_text() == b.read_text()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("economy", "--mode", "frugal")
