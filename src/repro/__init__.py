@@ -78,6 +78,18 @@ from .schedule import (
     ScheduleRequestList,
     VariantSchedule,
 )
+from .service import (
+    PlacementQueue,
+    RequestGateway,
+    ServiceComparison,
+    ServiceConfig,
+    ServiceReport,
+    TrafficGenerator,
+    TrafficModel,
+    WorkerPool,
+    run_service,
+    run_service_comparison,
+)
 from .scheduler import (
     IRSScheduler,
     KofNScheduler,
@@ -132,4 +144,8 @@ __all__ = [
     "BudgetManager", "EconomyComparison", "EconomyConfig",
     "EconomyReport", "EconomyScheduler", "Market", "SealedBidAuction",
     "run_economy", "run_economy_comparison",
+    # service
+    "PlacementQueue", "RequestGateway", "ServiceComparison",
+    "ServiceConfig", "ServiceReport", "TrafficGenerator", "TrafficModel",
+    "WorkerPool", "run_service", "run_service_comparison",
 ]

@@ -101,7 +101,8 @@ class Metasystem:
                  chaos: Any = None,
                  guardrails: Any = None,
                  sampler: Any = None,
-                 economy: Any = None):
+                 economy: Any = None,
+                 service: Any = None):
         if tracing not in ("off", "flat", "spans"):
             raise ValueError(
                 f"tracing must be 'off', 'flat' or 'spans', got {tracing!r}")
@@ -216,6 +217,17 @@ class Metasystem:
                 self.enable_economy()
             else:
                 self.enable_economy(config=economy)
+
+        # the service knob: True starts the live service tier (gateway +
+        # placement queue + worker pool) with defaults, or pass a
+        # ServiceConfig; usually started via start_service() once hosts
+        # exist so the first placements find a populated Collection
+        self.service: Optional[Any] = None
+        if service:
+            if service is True:
+                self.start_service()
+            else:
+                self.start_service(config=service)
 
     # ------------------------------------------------------------------
     # federation
@@ -817,6 +829,59 @@ class Metasystem:
         self.transport.retry_policy = policy
         self.enactor.retry_policy = policy
         return policy
+
+    def start_service(self, config: Any = None, app: Any = None,
+                      **kwargs) -> Any:
+        """Start the live service tier (ROADMAP item 2): a typed
+        :class:`~repro.service.gateway.RequestGateway` feeding a bounded
+        :class:`~repro.service.queue.PlacementQueue` drained by a
+        :class:`~repro.service.workers.WorkerPool` of seeded daemons
+        driving :meth:`~repro.scheduler.base.Scheduler.run`.
+
+        ``app`` is the Class placed per request (default: a maximally
+        portable ``service-app`` class sized by the config's ``work``).
+        Idempotent — a second call returns the existing suite.  All
+        randomness draws from dedicated ``("service", ...)`` streams, so
+        starting the service never perturbs the other seeded streams of
+        an existing scenario.  Keyword overrides build a
+        :class:`~repro.service.config.ServiceConfig`.
+        """
+        from .service import (
+            PlacementQueue,
+            RequestGateway,
+            ServiceConfig,
+            ServiceSuite,
+            WorkerPool,
+        )
+        if self.service is not None:
+            return self.service
+        if config is None:
+            config = ServiceConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either config= or keyword overrides, "
+                             "not both")
+        if app is None:
+            from .workload.testbed import implementations_for_all_platforms
+            app = self.create_class("service-app",
+                                    implementations_for_all_platforms(),
+                                    work_units=config.work)
+        queue = PlacementQueue(config.queue_cap, config.backpressure,
+                               metrics=self.metrics)
+        gateway = RequestGateway(self.sim, queue, config,
+                                 metrics=self.metrics, spans=self.spans,
+                                 hosts=self.hosts)
+        pool = WorkerPool(
+            self.sim, queue, gateway, app, config,
+            scheduler_factory=lambda i: self.make_scheduler(
+                config.scheduler,
+                rng=self.rngs.stream("service", "sched", str(i)),
+                name=f"svc-w{i}"),
+            rng_factory=lambda i: self.rngs.stream("service", "retry",
+                                                   str(i)),
+            metrics=self.metrics, spans=self.spans)
+        pool.start()
+        self.service = ServiceSuite(config, gateway, queue, pool, app)
+        return self.service
 
     # ------------------------------------------------------------------
     # time control

@@ -1,0 +1,103 @@
+"""Live service mode: the production-shaped tier over the Metasystem.
+
+Every entry point before this package was a closed-loop batch campaign —
+the experiment loop submitted a wave, waited, submitted the next.  The
+paper's Scheduler/Enactor/Collection protocol exists to serve a *stream*
+of placement requests from real users; this package wraps the simulated
+metasystem in exactly the high-level modular decomposition OAR (Capit et
+al., PAPERS.md) gives a batch RMS — submission front-end, queue,
+executor — and drives it open-loop:
+
+* :mod:`~repro.service.gateway` — a typed **request gateway**
+  (submit/status/cancel/health routes) with front-door admission control
+  reusing the guardrails admission semantics (bounded backlog + load
+  limit, :class:`~repro.errors.AdmissionRejected`),
+* :mod:`~repro.service.queue` — a bounded, priority-aware **placement
+  queue** with shed/reject/defer backpressure modes and queue-depth
+  metrics,
+* :mod:`~repro.service.workers` — a **worker pool**: N seeded daemons on
+  the sim kernel draining the queue into ``Scheduler.run`` placements,
+  with per-worker spans and retry-on-transient wiring,
+* :mod:`~repro.service.traffic` — an **open-loop traffic generator**:
+  seeded diurnal/bursty user populations (Lazarevic & Sacks, PAPERS.md)
+  scaling to millions of simulated users at O(arrivals) cost,
+* :mod:`~repro.service.report` — the :class:`ServiceReport` joining
+  per-request end-to-end latency (enqueue→placed, from the span tracer)
+  with the SLO engine's burn-rate verdicts, exported byte-stably; plus
+  ``run_service`` / ``run_service_comparison``, the engines behind
+  ``legion-sim serve`` and the committed ``BENCH_service.json``.
+
+Everything runs on virtual time with dedicated ``("service", ...)``
+seeded RNG streams, so a saturated→drained service cycle is byte-
+identical across reruns — the property the ``service-smoke`` CI job
+gates on.
+"""
+
+from .config import ServiceConfig
+from .gateway import RequestGateway, ServiceAdmission
+from .queue import PlacementQueue
+from .report import (
+    ServiceComparison,
+    ServiceReport,
+    run_service,
+    run_service_comparison,
+)
+from .request import (
+    CANCELLED,
+    DEFERRED,
+    FAILED,
+    PLACED,
+    PLACING,
+    QUEUED,
+    REJECTED,
+    SHED,
+    TERMINAL_STATES,
+    RouteResult,
+    ServiceRequest,
+)
+from .slos import default_service_slos
+from .traffic import TrafficGenerator, TrafficModel
+from .workers import WorkerPool
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceSuite",
+    "RequestGateway",
+    "ServiceAdmission",
+    "PlacementQueue",
+    "WorkerPool",
+    "TrafficGenerator",
+    "TrafficModel",
+    "ServiceRequest",
+    "RouteResult",
+    "ServiceReport",
+    "ServiceComparison",
+    "run_service",
+    "run_service_comparison",
+    "default_service_slos",
+    "QUEUED", "DEFERRED", "PLACING", "PLACED", "FAILED", "SHED",
+    "REJECTED", "CANCELLED", "TERMINAL_STATES",
+]
+
+
+class ServiceSuite:
+    """The wired-up live service of one Metasystem (what
+    :meth:`~repro.metasystem.Metasystem.start_service` returns)."""
+
+    def __init__(self, config: ServiceConfig, gateway: RequestGateway,
+                 queue: PlacementQueue, pool: WorkerPool, app):
+        self.config = config
+        self.gateway = gateway
+        self.queue = queue
+        self.pool = pool
+        #: the Class object service requests place instances of
+        self.app = app
+
+    def stop(self) -> None:
+        """Stop the worker pool (queued requests stay queued)."""
+        self.pool.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ServiceSuite workers={self.pool.size} "
+                f"queue={self.queue.depth}/{self.queue.cap or 'inf'} "
+                f"requests={self.gateway.submitted}>")

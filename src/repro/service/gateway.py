@@ -1,0 +1,235 @@
+"""RequestGateway: the typed front door of the live service tier.
+
+Four routes — ``submit`` / ``status`` / ``cancel`` / ``health`` — each
+returning a :class:`~repro.service.request.RouteResult`.  Submission
+passes two layers of protection before a request reaches the backlog:
+
+1. **front-door admission** (:class:`ServiceAdmission`) reuses the
+   guardrails admission semantics — a load ceiling over the testbed's
+   mean machine load, raising
+   :class:`~repro.errors.AdmissionRejected` exactly like the Host-side
+   :class:`~repro.guardrails.admission.AdmissionController` does;
+2. **bounded-backlog backpressure**: a full
+   :class:`~repro.service.queue.PlacementQueue` sheds, rejects, or
+   defers the request per the configured mode.  Deferred requests are
+   re-offered by the gateway after ``defer_delay`` virtual seconds, at
+   most ``max_defers`` times, then shed.
+
+Every request — including shed and rejected ones — stays in the
+gateway's registry, so ``status`` answers for it forever: *counted, not
+lost*.  The gateway is also the single place terminal outcomes are
+recorded (workers call :meth:`RequestGateway.finish`), which keeps the
+outcome counters, the e2e latency histogram, and the per-request spans
+consistent with each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import AdmissionRejected
+from .config import ServiceConfig
+from .queue import PlacementQueue
+from .request import (
+    CANCELLED,
+    DEFERRED,
+    FAILED,
+    PLACED,
+    QUEUED,
+    REJECTED,
+    SHED,
+    RouteResult,
+    ServiceRequest,
+)
+
+__all__ = ["RequestGateway", "ServiceAdmission"]
+
+
+class ServiceAdmission:
+    """Front-door load shedding, mirroring the guardrails controller.
+
+    Where :class:`~repro.guardrails.admission.AdmissionController`
+    guards one host at reservation time, this guards the whole service
+    at submit time: past ``load_limit`` mean machine load, new work is
+    refused outright rather than queued onto an already-drowning
+    testbed.
+    """
+
+    def __init__(self, load_limit: Optional[float] = None,
+                 metrics: Any = None):
+        if load_limit is not None and load_limit <= 0:
+            raise ValueError("load_limit must be positive (or None)")
+        self.load_limit = load_limit
+        self.metrics = metrics
+        self.rejections = 0
+
+    def check(self, hosts: List[Any], now: float) -> None:
+        """Raise :class:`AdmissionRejected` if the service should refuse."""
+        if self.load_limit is None or not hosts:
+            return
+        load = sum(h.machine.load_average for h in hosts) / len(hosts)
+        if load > self.load_limit:
+            self.rejections += 1
+            if self.metrics is not None:
+                self.metrics.count("service_admission_rejected_total",
+                                   reason="load")
+            raise AdmissionRejected(
+                f"service: mean load {load:.2f} exceeds limit "
+                f"{self.load_limit:.2f}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ServiceAdmission load_limit={self.load_limit} "
+                f"rejections={self.rejections}>")
+
+
+class RequestGateway:
+    """Typed submit/status/cancel/health routes over the placement queue."""
+
+    def __init__(self, sim: Any, queue: PlacementQueue,
+                 config: ServiceConfig, metrics: Any = None,
+                 spans: Any = None, hosts: Optional[List[Any]] = None):
+        self.sim = sim
+        self.queue = queue
+        self.config = config
+        self.metrics = metrics
+        self.spans = spans
+        self.hosts = hosts if hosts is not None else []
+        self.admission = ServiceAdmission(config.load_limit, metrics)
+        self.requests: Dict[str, ServiceRequest] = {}
+        self.submitted = 0
+
+    # -- routes ---------------------------------------------------------------
+    def submit(self, user: str, count: int = 1, priority: int = 0,
+               work: Optional[float] = None) -> RouteResult:
+        """Admit a placement request; returns its id and initial state."""
+        self._route("submit")
+        now = self.sim.now
+        request = ServiceRequest(
+            request_id=f"req-{self.submitted:06d}", user=user, count=count,
+            priority=priority, work=work, submitted_at=now)
+        self.submitted += 1
+        self.requests[request.request_id] = request
+        try:
+            self.admission.check(self.hosts, now)
+        except AdmissionRejected as exc:
+            self.finish(request, REJECTED, detail=str(exc))
+            return RouteResult("submit", False, request.request_id,
+                               REJECTED, detail=str(exc))
+        return self._offer(request)
+
+    def status(self, request_id: str) -> RouteResult:
+        """Look up any request ever submitted — terminal ones included."""
+        self._route("status")
+        request = self.requests.get(request_id)
+        if request is None:
+            return RouteResult("status", False, request_id,
+                               detail="unknown request")
+        return RouteResult("status", True, request_id, request.state,
+                           detail=request.detail,
+                           snapshot=request.to_dict())
+
+    def cancel(self, request_id: str) -> RouteResult:
+        """Withdraw a request that has not started placing yet."""
+        self._route("cancel")
+        request = self.requests.get(request_id)
+        if request is None:
+            return RouteResult("cancel", False, request_id,
+                               detail="unknown request")
+        if request.state == QUEUED:
+            self.queue.cancel(request_id)
+            self.finish(request, CANCELLED, detail="cancelled while queued")
+            return RouteResult("cancel", True, request_id, CANCELLED)
+        if request.state == DEFERRED:
+            self.finish(request, CANCELLED, detail="cancelled while deferred")
+            return RouteResult("cancel", True, request_id, CANCELLED)
+        return RouteResult(
+            "cancel", False, request_id, request.state,
+            detail=f"not cancellable in state {request.state!r}")
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness snapshot: backlog, outcomes, admission, clock."""
+        self._route("health")
+        by_state: Dict[str, int] = {}
+        for request in self.requests.values():
+            by_state[request.state] = by_state.get(request.state, 0) + 1
+        return {
+            "now": self.sim.now,
+            "submitted": self.submitted,
+            "queue": self.queue.stats(),
+            "requests_by_state": dict(sorted(by_state.items())),
+            "admission_rejections": self.admission.rejections,
+        }
+
+    # -- backpressure ---------------------------------------------------------
+    def _offer(self, request: ServiceRequest) -> RouteResult:
+        disposition = self.queue.offer(request)
+        now = self.sim.now
+        if disposition == "enqueued":
+            request.state = QUEUED
+            request.enqueued_at = now
+            return RouteResult("submit", True, request.request_id, QUEUED)
+        if disposition == "deferred":
+            request.state = DEFERRED
+            request.defers += 1
+            self.sim.schedule(self.config.defer_delay,
+                              lambda: self._reoffer(request))
+            return RouteResult("submit", True, request.request_id, DEFERRED,
+                               detail=f"backlog full; retrying in "
+                                      f"{self.config.defer_delay:g}s")
+        if disposition == "rejected":
+            self.finish(request, REJECTED, detail="backlog full")
+            return RouteResult("submit", False, request.request_id,
+                               REJECTED, detail="backlog full")
+        self.finish(request, SHED, detail="backlog full")
+        return RouteResult("submit", False, request.request_id, SHED,
+                           detail="backlog full")
+
+    def _reoffer(self, request: ServiceRequest) -> None:
+        if request.state != DEFERRED:  # cancelled in the meantime
+            return
+        out_of_defers = request.defers >= self.config.max_defers
+        disposition = self.queue.offer(request, final=out_of_defers)
+        if disposition == "enqueued":
+            request.state = QUEUED
+            request.enqueued_at = self.sim.now
+        elif disposition == "deferred":
+            request.defers += 1
+            self.sim.schedule(self.config.defer_delay,
+                              lambda: self._reoffer(request))
+        else:  # shed (final) or rejected
+            self.finish(request, SHED if disposition == "shed" else REJECTED,
+                        detail=f"backlog still full after "
+                               f"{request.defers} defers")
+
+    # -- terminal bookkeeping -------------------------------------------------
+    def finish(self, request: ServiceRequest, state: str,
+               detail: str = "") -> None:
+        """Move ``request`` to a terminal state; the only place outcome
+        counters, the e2e histogram, and request spans are emitted."""
+        now = self.sim.now
+        request.state = state
+        request.finished_at = now
+        if detail:
+            request.detail = detail
+        if self.metrics is not None:
+            self.metrics.count("service_request_outcomes_total",
+                               outcome=state)
+        if state in (PLACED, FAILED):
+            e2e = now - request.submitted_at
+            if self.metrics is not None and state == PLACED:
+                self.metrics.observe("service_e2e_seconds", e2e)
+            if self.spans is not None:
+                self.spans.record_span(
+                    "service.request", start=request.submitted_at, end=now,
+                    status="ok" if state == PLACED else "error",
+                    request=request.request_id, user=request.user,
+                    outcome=state, priority=request.priority,
+                    worker=request.worker, attempts=request.attempts)
+
+    def _route(self, route: str) -> None:
+        if self.metrics is not None:
+            self.metrics.count("service_requests_total", route=route)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<RequestGateway submitted={self.submitted} "
+                f"queue={self.queue.depth}>")

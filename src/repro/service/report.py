@@ -1,0 +1,394 @@
+"""run_service / run_service_comparison: seeded live-service campaigns.
+
+Mirrors :func:`repro.chaos.campaign.run_campaign` and
+:func:`repro.economy.campaign.run_economy`: build the standard testbed,
+start the service tier, drive it **open-loop** with seeded diurnal/
+bursty traffic (including a deterministic overload surge), drain, and
+aggregate a :class:`ServiceReport` joining
+
+* per-request end-to-end latency (submit→placed) from the
+  ``service.request`` spans the gateway records, and
+* the SLO engine's burn-rate verdicts over the windowed ``service_*``
+  time series
+
+— serialized with sorted keys and rounded floats so a committed
+``BENCH_service.json`` is byte-stable across reruns of the same seed.
+
+:func:`run_service_comparison` replays the identical seeded world twice
+— bounded backlog (shedding on) vs unbounded (shedding off) — and its
+``shedding_protects_slo`` gate is the acceptance criterion of the
+``legion-sim serve --compare-shedding`` subcommand: the overload surge
+must exhaust the e2e latency error budget with shedding off while the
+bounded run keeps p99 inside the SLO threshold.
+
+Imports of the testbed/metasystem layers happen inside the functions to
+keep ``repro.service`` importable without a cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .slos import E2E_THRESHOLD, default_service_slos
+from .traffic import TrafficModel
+
+__all__ = ["ServiceReport", "ServiceComparison",
+           "run_service", "run_service_comparison"]
+
+
+def _round(value: float) -> float:
+    return round(float(value), 6)
+
+
+@dataclass
+class ServiceReport:
+    """Aggregated outcome of one seeded live-service campaign."""
+
+    scheduler: str = "irs"
+    seed: int = 0
+    users: int = 0
+    duration: float = 0.0
+    workers: int = 0
+    queue_cap: int = 0
+    backpressure: str = "shed"
+    work: float = 0.0
+    slo_threshold: float = E2E_THRESHOLD
+
+    traffic: Dict[str, Any] = field(default_factory=dict)
+    #: gateway registry: submitted count + requests by terminal state
+    requests: Dict[str, Any] = field(default_factory=dict)
+    queue: Dict[str, Any] = field(default_factory=dict)
+    pool: Dict[str, Any] = field(default_factory=dict)
+    #: submit→placed latency distribution from ``service.request`` spans
+    latency: Dict[str, Any] = field(default_factory=dict)
+    #: SLO engine verdicts over the windowed ``service_*`` series
+    slo: Optional[Dict[str, Any]] = None
+    #: requests still non-terminal when the drain budget ran out
+    pending: int = 0
+    drain_seconds: float = 0.0
+
+    # -- derived --------------------------------------------------------------
+    def _state(self, state: str) -> int:
+        return int(self.requests.get("by_state", {}).get(state, 0))
+
+    @property
+    def placed(self) -> int:
+        return self._state("placed")
+
+    @property
+    def failed(self) -> int:
+        return self._state("failed")
+
+    @property
+    def shed(self) -> int:
+        return self._state("shed")
+
+    @property
+    def rejected(self) -> int:
+        return self._state("rejected")
+
+    @property
+    def p99(self) -> float:
+        return float(self.latency.get("p99", 0.0))
+
+    @property
+    def throughput(self) -> float:
+        """Placed requests per virtual second of the open-loop window."""
+        if self.duration <= 0:
+            return 0.0
+        return self.placed / self.duration
+
+    @property
+    def p99_within_slo(self) -> bool:
+        """Did p99 e2e latency land inside the SLOSpec threshold?"""
+        return self.placed > 0 and self.p99 <= self.slo_threshold
+
+    @property
+    def latency_budget_exhausted(self) -> bool:
+        """Did the run burn the whole e2e latency error budget?"""
+        if not self.slo:
+            return False
+        return bool(self.slo.get("latency_exhausted", False))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "users": self.users,
+            "duration": _round(self.duration),
+            "workers": self.workers,
+            "queue_cap": self.queue_cap,
+            "backpressure": self.backpressure,
+            "work": _round(self.work),
+            "slo_threshold": _round(self.slo_threshold),
+            "traffic": self.traffic,
+            "requests": self.requests,
+            "queue": self.queue,
+            "pool": self.pool,
+            "latency": self.latency,
+            "throughput": _round(self.throughput),
+            "p99_within_slo": self.p99_within_slo,
+            "slo": self.slo,
+            "pending": self.pending,
+            "drain_seconds": _round(self.drain_seconds),
+        }
+
+    def to_json(self, **kwargs) -> str:
+        kwargs.setdefault("indent", 2)
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def summary(self) -> str:
+        lat = self.latency
+        lines = [
+            f"service campaign: scheduler={self.scheduler} "
+            f"seed={self.seed} users={self.users} "
+            f"duration={self.duration:g}s workers={self.workers} "
+            f"queue_cap={self.queue_cap or 'unbounded'} "
+            f"mode={self.backpressure}",
+            f"  traffic:  arrivals={self.traffic.get('arrivals', 0)} "
+            f"accepted={self.traffic.get('accepted', 0)}",
+            f"  outcomes: placed={self.placed} failed={self.failed} "
+            f"shed={self.shed} rejected={self.rejected} "
+            f"pending={self.pending}",
+            f"  queue:    peak_depth={self.queue.get('peak_depth', 0)} "
+            f"deferred={self.queue.get('deferred', 0)}",
+            f"  latency:  p50={lat.get('p50', 0.0):.3f}s "
+            f"p95={lat.get('p95', 0.0):.3f}s "
+            f"p99={lat.get('p99', 0.0):.3f}s "
+            f"max={lat.get('max', 0.0):.3f}s "
+            f"[threshold {self.slo_threshold:g}s: "
+            f"{'OK' if self.p99_within_slo else 'BREACH'}]",
+            f"  pool:     busy_fraction="
+            f"{self.pool.get('busy_fraction', 0.0):.3f} "
+            f"throughput={self.throughput:.3f}/s",
+        ]
+        if self.slo:
+            lines.append(
+                f"  slo:      windows={self.slo.get('windows', 0)} "
+                f"alerts={self.slo.get('alerts', 0)} "
+                f"minutes_lost={self.slo.get('minutes_lost', 0.0)} "
+                f"latency_budget="
+                f"{'EXHAUSTED' if self.latency_budget_exhausted else 'ok'}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ServiceComparison:
+    """Shedding on (bounded backlog) vs off (unbounded), same seed."""
+
+    reports: Dict[str, ServiceReport] = field(default_factory=dict)
+
+    def report(self, name: str) -> ServiceReport:
+        return self.reports[name]
+
+    @property
+    def shedding_protects_slo(self) -> bool:
+        """The BENCH gate: the overload surge exhausts the e2e latency
+        budget with shedding off, while the bounded run keeps its budget
+        *and* p99 inside the threshold."""
+        shed = self.reports.get("shedding")
+        noshed = self.reports.get("no-shedding")
+        if shed is None or noshed is None:
+            return False
+        return (noshed.latency_budget_exhausted
+                and not shed.latency_budget_exhausted
+                and shed.p99_within_slo)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shedding_protects_slo": self.shedding_protects_slo,
+            "reports": {name: self.reports[name].to_dict()
+                        for name in sorted(self.reports)},
+        }
+
+    def to_json(self, **kwargs) -> str:
+        kwargs.setdefault("indent", 2)
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def summary(self) -> str:
+        header = (f"{'variant':<12} {'placed':>7} {'shed':>6} "
+                  f"{'pending':>7} {'p99(s)':>8} {'budget':>10}")
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.reports):
+            r = self.reports[name]
+            budget = "EXHAUSTED" if r.latency_budget_exhausted else "ok"
+            lines.append(
+                f"{name:<12} {r.placed:>7} {r.shed:>6} {r.pending:>7} "
+                f"{r.p99:>8.3f} {budget:>10}")
+        lines.append("shedding protects the e2e latency SLO"
+                     if self.shedding_protects_slo else
+                     "shedding does NOT protect the e2e latency SLO")
+        return "\n".join(lines)
+
+
+def _latency_stats(spans: Any) -> Dict[str, Any]:
+    """Distribution of submit→placed latency from the request spans."""
+    samples = sorted(float(s.end - s.start) for s in spans
+                     if s.name == "service.request" and s.status == "ok")
+    if not samples:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0}
+    arr = np.asarray(samples)
+    return {
+        "count": len(samples),
+        "mean": _round(float(arr.mean())),
+        "p50": _round(float(np.percentile(arr, 50))),
+        "p95": _round(float(np.percentile(arr, 95))),
+        "p99": _round(float(np.percentile(arr, 99))),
+        "max": _round(float(arr[-1])),
+    }
+
+
+def default_model(users: int, duration: float,
+                  requests_per_user_hour: float = 0.2,
+                  surge_multiplier: float = 8.0) -> TrafficModel:
+    """The stock campaign traffic: a gentle diurnal tide plus a
+    deterministic overload surge through the middle fifth of the run."""
+    return TrafficModel(
+        users=users,
+        requests_per_user_hour=requests_per_user_hour,
+        diurnal_amplitude=0.3,
+        burst_multiplier=2.0,
+        mean_burst_every=max(duration / 3.0, 1.0),
+        mean_burst_length=max(duration / 20.0, 1.0),
+        surge_start=duration * 0.4,
+        surge_length=duration * 0.2,
+        surge_multiplier=surge_multiplier)
+
+
+def run_service(seed: int = 0,
+                users: int = 1_000_000,
+                duration: float = 240.0,
+                workers: int = 4,
+                queue_cap: int = 64,
+                backpressure: str = "shed",
+                scheduler: str = "irs",
+                work: float = 10.0,
+                requests_per_user_hour: float = 0.0036,
+                surge_multiplier: float = 12.0,
+                model: Optional[TrafficModel] = None,
+                slo_threshold: float = E2E_THRESHOLD,
+                n_domains: int = 3,
+                hosts_per_domain: int = 6,
+                platform_mix: int = 3,
+                host_slots: int = 8,
+                background_load: float = 0.3,
+                sampler_window: float = 30.0,
+                drain_time: float = 1800.0,
+                drain_step: float = 5.0,
+                meta: Any = None) -> ServiceReport:
+    """Run one seeded open-loop service campaign and return its report.
+
+    ``queue_cap=0`` disables the bounded backlog (shedding off) — the
+    overload baseline.  Pass a prebuilt ``meta`` to reuse a custom
+    testbed (it must not have a service started yet)."""
+    from ..workload.testbed import TestbedSpec, build_testbed
+    from .config import ServiceConfig
+
+    if meta is None:
+        meta = build_testbed(TestbedSpec(
+            seed=seed, n_domains=n_domains,
+            hosts_per_domain=hosts_per_domain,
+            platform_mix=platform_mix,
+            host_slots=host_slots,
+            background_load_mean=background_load,
+            sampler_window=sampler_window))
+        meta.place_collection("dom0")
+        meta.place_enactor("dom0")
+    elif sampler_window and meta.sampler is None:
+        meta.start_sampler(window=sampler_window)
+
+    config = ServiceConfig(workers=workers, queue_cap=queue_cap,
+                           backpressure=backpressure,
+                           scheduler=scheduler, work=work)
+    suite = meta.start_service(config)
+    if model is None:
+        model = default_model(users, duration,
+                              requests_per_user_hour=requests_per_user_hour,
+                              surge_multiplier=surge_multiplier)
+
+    from .traffic import TrafficGenerator
+    generator = TrafficGenerator(
+        meta.sim, meta.rngs.stream("service", "traffic"), model,
+        lambda user, priority: suite.gateway.submit(user=user,
+                                                    priority=priority),
+        duration)
+    generator.start()
+    meta.advance(duration)
+
+    # drain: advance until every admitted request reaches a terminal
+    # state (the no-shedding overload baseline may not make it before
+    # the drain budget runs out — those requests count as ``pending``)
+    drain_start = meta.now
+    stop = drain_start + drain_time
+    gateway = suite.gateway
+    while meta.now < stop:
+        if all(r.terminal for r in gateway.requests.values()):
+            break
+        meta.advance(drain_step)
+    drain_seconds = meta.now - drain_start
+    suite.stop()
+
+    report = ServiceReport(
+        scheduler=scheduler, seed=seed, users=model.users,
+        duration=duration, workers=workers, queue_cap=queue_cap,
+        backpressure=backpressure, work=work,
+        slo_threshold=slo_threshold)
+    report.traffic = generator.stats()
+    by_state: Dict[str, int] = {}
+    for request in gateway.requests.values():
+        by_state[request.state] = by_state.get(request.state, 0) + 1
+    report.requests = {
+        "submitted": gateway.submitted,
+        "admission_rejections": gateway.admission.rejections,
+        "by_state": dict(sorted(by_state.items())),
+    }
+    report.queue = suite.queue.stats()
+    report.pool = {k: (_round(v) if isinstance(v, float) else v)
+                   for k, v in suite.pool.stats().items()}
+    report.latency = _latency_stats(meta.spans.spans)
+    report.pending = sum(1 for r in gateway.requests.values()
+                         if not r.terminal)
+    report.drain_seconds = drain_seconds
+
+    if meta.sampler is not None:
+        from ..obs.slo import evaluate_slos
+        meta.sampler.flush()
+        specs = default_service_slos(threshold=slo_threshold)
+        results = evaluate_slos(specs, meta.sampler.windows)
+        by_name = {r.spec.name: r for r in results}
+        latency_result = by_name.get("service-e2e-latency")
+        report.slo = {
+            "window_seconds": meta.sampler.window,
+            "windows": len(meta.sampler.windows),
+            "minutes_lost": _round(sum(r.minutes_lost for r in results)),
+            "alerts": sum(len(r.alerts) for r in results),
+            "exhausted": sum(1 for r in results if r.exhausted),
+            "latency_exhausted": (latency_result is not None
+                                  and latency_result.exhausted),
+            "budgets": {r.spec.name: _round(r.budget_consumed)
+                        for r in results},
+        }
+    return report
+
+
+def run_service_comparison(queue_cap: int = 64, **kwargs
+                           ) -> ServiceComparison:
+    """Replay the identical seeded overload twice — bounded backlog vs
+    unbounded — for the shedding-protects-SLO verdict; the report dict
+    feeds ``BENCH_service.json``."""
+    if queue_cap <= 0:
+        raise ValueError("comparison needs a bounded queue_cap for the "
+                         "shedding variant")
+    kwargs.pop("meta", None)  # each variant builds its own seeded world
+    comparison = ServiceComparison()
+    comparison.reports["shedding"] = run_service(queue_cap=queue_cap,
+                                                 **kwargs)
+    comparison.reports["no-shedding"] = run_service(queue_cap=0, **kwargs)
+    return comparison

@@ -1,0 +1,115 @@
+"""ServiceRequest: one user placement request moving through the tier.
+
+The request's lifecycle is a small state machine::
+
+    submit ──┬─► QUEUED ──► PLACING ──┬─► PLACED
+             │     │                  └─► FAILED
+             │     └─► CANCELLED
+             ├─► DEFERRED ──► (re-offer) ──► QUEUED | SHED
+             ├─► SHED          (backlog full, mode "shed")
+             └─► REJECTED      (backlog full, mode "reject";
+                                or front-door admission refusal)
+
+Shed/rejected/cancelled requests stay in the gateway's registry — they
+are *counted, not lost*: ``status`` answers for them forever, which is
+what the backpressure-correctness tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "QUEUED", "DEFERRED", "PLACING", "PLACED", "FAILED", "SHED",
+    "REJECTED", "CANCELLED", "TERMINAL_STATES",
+    "ServiceRequest", "RouteResult",
+]
+
+QUEUED = "queued"
+DEFERRED = "deferred"
+PLACING = "placing"
+PLACED = "placed"
+FAILED = "failed"
+SHED = "shed"
+REJECTED = "rejected"
+CANCELLED = "cancelled"
+
+#: states a request never leaves
+TERMINAL_STATES = frozenset({PLACED, FAILED, SHED, REJECTED, CANCELLED})
+
+
+class ServiceRequest:
+    """One submit moving through gateway → queue → worker."""
+
+    __slots__ = ("request_id", "user", "count", "priority", "work",
+                 "state", "submitted_at", "enqueued_at", "started_at",
+                 "finished_at", "worker", "attempts", "defers", "detail",
+                 "created")
+
+    def __init__(self, request_id: str, user: str, count: int = 1,
+                 priority: int = 0, work: Optional[float] = None,
+                 submitted_at: float = 0.0):
+        self.request_id = request_id
+        self.user = user
+        self.count = count
+        self.priority = priority
+        self.work = work
+        self.state = QUEUED
+        self.submitted_at = submitted_at
+        self.enqueued_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.worker: Optional[int] = None
+        self.attempts = 0
+        self.defers = 0
+        self.detail = ""
+        self.created: List[str] = []
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def e2e_latency(self) -> Optional[float]:
+        """Enqueue→placed latency (None unless the request was placed)."""
+        if self.state != PLACED or self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "user": self.user,
+            "count": self.count,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "enqueued_at": self.enqueued_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "worker": self.worker,
+            "attempts": self.attempts,
+            "defers": self.defers,
+            "detail": self.detail,
+            "created": list(self.created),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ServiceRequest {self.request_id} user={self.user} "
+                f"state={self.state} prio={self.priority}>")
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """What a gateway route returns to the caller (a typed response)."""
+
+    route: str            # "submit" | "status" | "cancel"
+    ok: bool
+    request_id: str = ""
+    state: str = ""
+    detail: str = ""
+    snapshot: Optional[Dict[str, Any]] = field(default=None)
+
+    def __bool__(self) -> bool:
+        return self.ok

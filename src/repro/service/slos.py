@@ -1,0 +1,53 @@
+"""Stock objectives for the live service tier.
+
+Two SLOs over the ``service_*`` signals the gateway emits:
+
+* **service-e2e-latency** — the headline objective: 99% of *placed*
+  requests must go submit→placed within 30 virtual seconds.  This is
+  the objective the shedding comparison gates on: an unbounded backlog
+  under an overload surge makes queue wait dominate e2e latency and
+  burns this budget; a bounded backlog sheds the excess instead and
+  keeps p99 inside the threshold.
+* **service-success** — of the requests that reached a worker, 95%
+  must place successfully (``outcome="placed"`` vs ``outcome="failed"``
+  — shed/rejected/cancelled requests are *not* failures; backpressure
+  working as designed must not burn the success budget).
+
+The thresholds sit on ``DEFAULT_TIME_BUCKETS`` boundaries so windowed
+good/bad accounting needs no intra-bucket interpolation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..obs.slo import SLOSpec
+
+__all__ = ["default_service_slos"]
+
+#: e2e latency threshold (virtual seconds; a histogram bucket bound)
+E2E_THRESHOLD = 30.0
+
+
+def default_service_slos(threshold: float = E2E_THRESHOLD) -> List[SLOSpec]:
+    """The stock objectives for a live service run."""
+    return [
+        SLOSpec(
+            name="service-e2e-latency",
+            kind="latency",
+            target=0.99,
+            metric="service_e2e_seconds",
+            threshold=threshold,
+            description=f"p99 of placed requests go submit->placed "
+                        f"within {threshold:g} virtual seconds"),
+        SLOSpec(
+            name="service-success",
+            kind="ratio",
+            target=0.95,
+            good="service_request_outcomes_total",
+            good_labels={"outcome": "placed"},
+            bad="service_request_outcomes_total",
+            bad_labels={"outcome": "failed"},
+            description="95% of worked requests place successfully "
+                        "(shed/rejected are backpressure, not failure)"),
+    ]

@@ -1,0 +1,165 @@
+"""WorkerPool: N seeded daemons draining the queue into placements.
+
+Each worker is a generator process on the sim kernel.  Its loop:
+
+1. pop the highest-priority request (idle-poll every ``poll_interval``
+   virtual seconds when the backlog is empty),
+2. drive :meth:`~repro.scheduler.base.Scheduler.run` for it — each
+   worker owns its *own* scheduler instance built from a dedicated
+   ``("service", "sched", i)`` RNG stream, so concurrent workers stay
+   deterministic,
+3. on a transient miss, retry up to ``max_attempts`` times with seeded
+   jittered backoff (``retry_backoff × U[1, 1.5)`` from the
+   ``("service", "retry", i)`` stream),
+4. report the terminal outcome through
+   :meth:`~repro.service.gateway.RequestGateway.finish` and record a
+   per-worker ``service.worker`` span.
+
+``Scheduler.run`` advances virtual time internally (Transport invokes
+are reentrant ``run_until`` calls, which the kernel explicitly
+supports), so a placement made from inside a worker process costs the
+same simulated seconds it would cost from a campaign loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import LegionError
+from ..scheduler.base import ObjectClassRequest
+from .config import ServiceConfig
+from .gateway import RequestGateway
+from .queue import PlacementQueue
+from .request import FAILED, PLACED, PLACING
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Seeded worker daemons between the placement queue and the Scheduler."""
+
+    def __init__(self, sim: Any, queue: PlacementQueue,
+                 gateway: RequestGateway, app: Any, config: ServiceConfig,
+                 scheduler_factory: Callable[[int], Any],
+                 rng_factory: Callable[[int], Any],
+                 metrics: Any = None, spans: Any = None):
+        self.sim = sim
+        self.queue = queue
+        self.gateway = gateway
+        self.app = app
+        self.config = config
+        self.metrics = metrics
+        self.spans = spans
+        self.size = config.workers
+        self.schedulers = [scheduler_factory(i) for i in range(self.size)]
+        self._retry_rngs = [rng_factory(i) for i in range(self.size)]
+        self._stopped = False
+        self._busy_now = 0
+        self._busy_time: List[float] = [0.0] * self.size
+        self.handled: List[int] = [0] * self.size
+        self.placed = 0
+        self.failed = 0
+        self.retries = 0
+        self._started_at: Optional[float] = None
+        self._processes: List[Any] = []
+        if metrics is not None:
+            metrics.gauge_fn("service_workers_busy",
+                             lambda: float(self._busy_now),
+                             help="workers currently driving a placement")
+            metrics.gauge_fn("service_worker_busy_fraction",
+                             lambda: self.busy_fraction,
+                             help="pool-wide fraction of wall time spent "
+                                  "placing since start()")
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Launch one daemon process per worker (idempotent)."""
+        if self._processes:
+            return
+        self._started_at = self.sim.now
+        self._stopped = False
+        for i in range(self.size):
+            self._processes.append(
+                self.sim.process(self._worker(i), name=f"service-worker-{i}"))
+
+    def stop(self) -> None:
+        """Ask every worker to exit after its current request."""
+        self._stopped = True
+
+    @property
+    def busy_fraction(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        elapsed = self.sim.now - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return sum(self._busy_time) / (self.size * elapsed)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "workers": self.size,
+            "handled": sum(self.handled),
+            "placed": self.placed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "busy_fraction": self.busy_fraction,
+        }
+
+    # -- the daemon -----------------------------------------------------------
+    def _worker(self, idx: int):
+        cfg = self.config
+        scheduler = self.schedulers[idx]
+        rng = self._retry_rngs[idx]
+        while not self._stopped:
+            request = self.queue.pop()
+            if request is None:
+                yield self.sim.timeout(cfg.poll_interval)
+                continue
+            started = self.sim.now
+            self._busy_now += 1
+            self.handled[idx] += 1
+            request.state = PLACING
+            request.started_at = started
+            request.worker = idx
+            ok = False
+            detail = ""
+            for attempt in range(1, cfg.max_attempts + 1):
+                request.attempts = attempt
+                try:
+                    outcome = scheduler.run(
+                        [ObjectClassRequest(self.app, count=request.count)],
+                        reservation_duration=cfg.reservation_duration)
+                    ok = outcome.ok
+                    detail = outcome.detail
+                    if ok:
+                        request.created = list(outcome.created)
+                except LegionError as exc:
+                    ok = False
+                    detail = str(exc)
+                if ok or attempt >= cfg.max_attempts:
+                    break
+                self.retries += 1
+                if self.metrics is not None:
+                    self.metrics.count("service_retries_total")
+                jitter = 1.0 + 0.5 * float(rng.random())
+                yield self.sim.timeout(cfg.retry_backoff * jitter)
+            now = self.sim.now
+            if ok:
+                self.placed += 1
+                self.gateway.finish(request, PLACED)
+            else:
+                self.failed += 1
+                self.gateway.finish(request, FAILED, detail=detail)
+            if self.spans is not None:
+                self.spans.record_span(
+                    "service.worker", start=started, end=now,
+                    status="ok" if ok else "error", worker=idx,
+                    request=request.request_id, attempts=request.attempts)
+            self._busy_time[idx] += now - started
+            self._busy_now -= 1
+            if cfg.dispatch_overhead > 0:
+                yield self.sim.timeout(cfg.dispatch_overhead)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<WorkerPool size={self.size} busy={self._busy_now} "
+                f"placed={self.placed} failed={self.failed}>")

@@ -32,6 +32,9 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim economy --mode cost --users 3 --budget 100
    $ legion-sim economy --mode time --chaos-profile lossy --retry
    $ legion-sim economy --compare-baselines --out BENCH_economy.json
+   $ legion-sim serve --users 1000000 --duration 240 --workers 4
+   $ legion-sim serve --queue-cap 0 --allow-exhausted
+   $ legion-sim serve --compare-shedding --out BENCH_service.json
 
 ``repro-cli`` is an alias of the same entry point.
 
@@ -49,6 +52,7 @@ from ..bench.harness import ExperimentTable
 from ..errors import LegionError
 from ..metasystem import Metasystem
 from ..scheduler.base import ObjectClassRequest
+from ..service.config import BACKPRESSURE_MODES
 from ..workload.applications import wait_for_completion
 from ..workload.testbed import (
     TestbedSpec,
@@ -75,6 +79,44 @@ def _build_meta(args: argparse.Namespace) -> Metasystem:
         chaos_horizon=getattr(args, "chaos_horizon", 0.0),
         guardrails=getattr(args, "guardrails", False),
         sampler_window=getattr(args, "sampler_window", 0.0)))
+
+
+def _build_workload(args: argparse.Namespace, out, kind: str = ""):
+    """Seeded testbed + the standard ``cli-app`` class + a scheduler —
+    the setup every workload subcommand (run / trace / metrics /
+    federation / bench) shares.  Returns ``(meta, app, scheduler)``, or
+    ``None`` after printing the error when the scheduler kind is
+    unknown (callers translate that into exit status 2)."""
+    meta = _build_meta(args)
+    app = meta.create_class("cli-app",
+                            implementations_for_all_platforms(),
+                            work_units=args.work)
+    try:
+        scheduler = meta.make_scheduler(kind or args.scheduler)
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return None
+    return meta, app, scheduler
+
+
+def _campaign_kwargs(args: argparse.Namespace, **extra) -> dict:
+    """Testbed-shape and wave kwargs shared by every campaign-style
+    subcommand (chaos / guardrails / slo / economy / serve), so each
+    runner call starts from one dict instead of re-assembling the same
+    spec by hand.  Wave knobs are included only when the subcommand
+    defines them; ``extra`` layers on the subcommand-specific ones."""
+    kwargs = dict(seed=args.seed,
+                  n_domains=args.domains,
+                  hosts_per_domain=args.hosts,
+                  platform_mix=args.platforms,
+                  background_load=args.load)
+    for arg_name, key in (("waves", "waves"), ("count", "per_wave"),
+                          ("work", "work"),
+                          ("wave_interval", "wave_interval")):
+        if hasattr(args, arg_name):
+            kwargs[key] = getattr(args, arg_name)
+    kwargs.update(extra)
+    return kwargs
 
 
 def _add_testbed_args(parser: argparse.ArgumentParser) -> None:
@@ -149,15 +191,10 @@ def cmd_query(args: argparse.Namespace, out) -> int:
 
 
 def cmd_run(args: argparse.Namespace, out) -> int:
-    meta = _build_meta(args)
-    app = meta.create_class("cli-app",
-                            implementations_for_all_platforms(),
-                            work_units=args.work)
-    try:
-        scheduler = meta.make_scheduler(args.scheduler)
-    except ValueError as exc:
-        print(str(exc), file=out)
+    workload = _build_workload(args, out)
+    if workload is None:
         return 2
+    meta, app, scheduler = workload
     outcome = scheduler.run([ObjectClassRequest(app, count=args.count)])
     if not outcome.ok:
         print(f"placement failed: {outcome.detail}", file=out)
@@ -207,15 +244,10 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
         render_tree,
         spans_to_jsonl,
     )
-    meta = _build_meta(args)
-    app = meta.create_class("cli-app",
-                            implementations_for_all_platforms(),
-                            work_units=args.work)
-    try:
-        scheduler = meta.make_scheduler(args.scheduler)
-    except ValueError as exc:
-        print(str(exc), file=out)
+    workload = _build_workload(args, out)
+    if workload is None:
         return 2
+    meta, app, scheduler = workload
     outcome = scheduler.run([ObjectClassRequest(app, count=args.count)])
     if outcome.ok and args.wait:
         wait_for_completion(meta, app, outcome.created)
@@ -278,15 +310,10 @@ def cmd_metrics(args: argparse.Namespace, out) -> int:
         snapshot_to_json,
         snapshot_to_prometheus,
     )
-    meta = _build_meta(args)
-    app = meta.create_class("cli-app",
-                            implementations_for_all_platforms(),
-                            work_units=args.work)
-    try:
-        scheduler = meta.make_scheduler(args.scheduler)
-    except ValueError as exc:
-        print(str(exc), file=out)
+    workload = _build_workload(args, out)
+    if workload is None:
         return 2
+    meta, app, scheduler = workload
     outcome = scheduler.run([ObjectClassRequest(app, count=args.count)])
     if outcome.ok and args.wait:
         wait_for_completion(meta, app, outcome.created)
@@ -314,15 +341,10 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
         f"scheduler comparison: {args.count} x {args.work:.0f}-unit tasks",
         ["scheduler", "ok", "makespan (s)", "sched latency (ms)"])
     for kind in args.scheduler or ["random", "irs", "load"]:
-        meta = _build_meta(args)
-        app = meta.create_class("cli-app",
-                                implementations_for_all_platforms(),
-                                work_units=args.work)
-        try:
-            scheduler = meta.make_scheduler(kind)
-        except ValueError as exc:
-            print(str(exc), file=out)
+        workload = _build_workload(args, out, kind=kind)
+        if workload is None:
             return 2
+        meta, app, scheduler = workload
         outcome = scheduler.run([ObjectClassRequest(app,
                                                     count=args.count)])
         makespan = float("nan")
@@ -339,15 +361,10 @@ def cmd_federation(args: argparse.Namespace, out) -> int:
     """Run a seeded federated workload and print ring/gossip stats."""
     if args.shards < 2:
         args.shards = 3  # this subcommand only makes sense federated
-    meta = _build_meta(args)
-    app = meta.create_class("cli-app",
-                            implementations_for_all_platforms(),
-                            work_units=args.work)
-    try:
-        scheduler = meta.make_scheduler(args.scheduler)
-    except ValueError as exc:
-        print(str(exc), file=out)
+    workload = _build_workload(args, out)
+    if workload is None:
         return 2
+    meta, app, scheduler = workload
     outcome = scheduler.run([ObjectClassRequest(app, count=args.count)])
     if outcome.ok and args.wait:
         wait_for_completion(meta, app, outcome.created)
@@ -404,17 +421,10 @@ def cmd_federation(args: argparse.Namespace, out) -> int:
 def cmd_chaos(args: argparse.Namespace, out) -> int:
     """Run a seeded fault-injection campaign and report resilience."""
     from ..chaos.campaign import run_campaign
-    kwargs = dict(profile=args.profile, chaos_seed=args.chaos_seed,
-                  seed=args.seed, scheduler=args.scheduler,
-                  waves=args.waves, per_wave=args.count, work=args.work,
-                  wave_interval=args.wave_interval,
-                  horizon=args.horizon or None,
-                  n_domains=args.domains,
-                  hosts_per_domain=args.hosts,
-                  platform_mix=args.platforms,
-                  background_load=args.load,
-                  shards=args.shards)
-    kwargs["guardrails"] = args.guardrails
+    kwargs = _campaign_kwargs(
+        args, profile=args.profile, chaos_seed=args.chaos_seed,
+        scheduler=args.scheduler, horizon=args.horizon or None,
+        shards=args.shards, guardrails=args.guardrails)
     try:
         if args.compare_retry:
             reports = [run_campaign(retry=False, **kwargs),
@@ -459,15 +469,10 @@ def cmd_guardrails(args: argparse.Namespace, out) -> int:
     """
     from ..guardrails.compare import run_comparison
     try:
-        cmp = run_comparison(
-            profile=args.profile, chaos_seed=args.chaos_seed,
-            seed=args.seed, scheduler=args.scheduler,
-            waves=args.waves, per_wave=args.count, work=args.work,
-            wave_interval=args.wave_interval,
-            horizon=args.horizon or None,
-            n_domains=args.domains, hosts_per_domain=args.hosts,
-            platform_mix=args.platforms, background_load=args.load,
-            shards=args.shards, include_events=args.events)
+        cmp = run_comparison(**_campaign_kwargs(
+            args, profile=args.profile, chaos_seed=args.chaos_seed,
+            scheduler=args.scheduler, horizon=args.horizon or None,
+            shards=args.shards, include_events=args.events))
     except LegionError as exc:
         print(f"guardrails error: {exc}", file=out)
         return 2
@@ -521,15 +526,10 @@ def cmd_slo(args: argparse.Namespace, out) -> int:
     if args.compare_guardrails:
         from ..guardrails.compare import run_comparison
         try:
-            cmp = run_comparison(
-                profile=args.chaos_profile or "hosts",
-                chaos_seed=args.chaos_seed, seed=args.seed,
-                scheduler=args.scheduler, waves=args.waves,
-                per_wave=args.count, work=args.work,
-                wave_interval=args.wave_interval,
-                n_domains=args.domains, hosts_per_domain=args.hosts,
-                platform_mix=args.platforms, background_load=args.load,
-                shards=args.shards, sampler_window=args.window)
+            cmp = run_comparison(**_campaign_kwargs(
+                args, profile=args.chaos_profile or "hosts",
+                chaos_seed=args.chaos_seed, scheduler=args.scheduler,
+                shards=args.shards, sampler_window=args.window))
         except LegionError as exc:
             print(f"slo error: {exc}", file=out)
             return 2
@@ -655,18 +655,11 @@ def cmd_economy(args: argparse.Namespace, out) -> int:
     ``economy-smoke`` CI job gates on.
     """
     from ..economy.campaign import run_economy, run_economy_comparison
-    kwargs = dict(mode=args.mode, seed=args.seed,
-                  chaos_profile=args.chaos_profile or None,
-                  chaos_seed=args.chaos_seed,
-                  guardrails=args.guardrails, retry=args.retry,
-                  users=args.users, budget=args.budget,
-                  deadline=args.deadline,
-                  waves=args.waves, per_wave=args.count, work=args.work,
-                  wave_interval=args.wave_interval,
-                  deadline_safety=args.deadline_safety,
-                  n_domains=args.domains, hosts_per_domain=args.hosts,
-                  platform_mix=args.platforms,
-                  background_load=args.load)
+    kwargs = _campaign_kwargs(
+        args, mode=args.mode, chaos_profile=args.chaos_profile or None,
+        chaos_seed=args.chaos_seed, guardrails=args.guardrails,
+        retry=args.retry, users=args.users, budget=args.budget,
+        deadline=args.deadline, deadline_safety=args.deadline_safety)
     try:
         if args.compare_baselines:
             cmp = run_economy_comparison(**kwargs)
@@ -694,6 +687,59 @@ def cmd_economy(args: argparse.Namespace, out) -> int:
         return 0
     except (LegionError, ValueError) as exc:
         print(f"economy error: {exc}", file=out)
+        return 2
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    """Run the live service tier — request gateway, bounded placement
+    queue, worker pool — under seeded open-loop diurnal/bursty traffic
+    with a deterministic overload surge, and report per-request e2e
+    latency joined with the SLO engine's burn-rate verdicts.
+
+    With ``--compare-shedding`` (the headline mode) the identical seeded
+    overload runs twice — bounded backlog (shedding on) vs unbounded —
+    and the exit status is nonzero unless shedding protects the e2e
+    latency SLO: the surge must exhaust the latency error budget with
+    shedding off while the bounded run keeps p99 inside its threshold —
+    what the ``service-smoke`` CI job gates on.
+    """
+    from ..service.report import run_service, run_service_comparison
+    kwargs = _campaign_kwargs(
+        args, scheduler=args.scheduler, users=args.users,
+        duration=args.duration, workers=args.workers,
+        backpressure=args.backpressure,
+        requests_per_user_hour=args.rate,
+        surge_multiplier=args.surge,
+        slo_threshold=args.slo_threshold,
+        host_slots=args.host_slots)
+    try:
+        if args.compare_shedding:
+            cmp = run_service_comparison(queue_cap=args.queue_cap,
+                                         **kwargs)
+            print(cmp.summary(), file=out)
+            print(file=out)
+            print(cmp.reports["shedding"].summary(), file=out)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(cmp.to_json() + "\n")
+                print(f"wrote service comparison to {args.out}", file=out)
+            if not cmp.shedding_protects_slo:
+                print("ERROR: shedding does not protect the e2e latency "
+                      "SLO under this overload", file=out)
+                return 1
+            return 0
+        report = run_service(queue_cap=args.queue_cap, **kwargs)
+        print(report.summary(), file=out)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json() + "\n")
+            print(f"wrote ServiceReport to {args.out}", file=out)
+        if report.latency_budget_exhausted and not args.allow_exhausted:
+            print("ERROR: e2e latency error budget exhausted", file=out)
+            return 1
+        return 0
+    except (LegionError, ValueError) as exc:
+        print(f"serve error: {exc}", file=out)
         return 2
 
 
@@ -986,6 +1032,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="", metavar="FILE",
                    help="write the report/comparison JSON to FILE")
     p.set_defaults(fn=cmd_economy)
+
+    p = sub.add_parser("serve",
+                       help="run the live service tier under seeded "
+                            "open-loop traffic: request gateway, bounded "
+                            "placement queue, worker pool, and SLO "
+                            "verdicts")
+    _add_testbed_args(p)
+    # the serve campaign's stock world (matches run_service defaults)
+    p.set_defaults(domains=3, hosts=6, platforms=3, load=0.3)
+    p.add_argument("--users", type=int, default=1_000_000,
+                   help="traffic population size; arrival cost is "
+                        "O(requests), not O(users), so millions are fine "
+                        "(default 1000000)")
+    p.add_argument("--duration", type=float, default=240.0,
+                   help="open-loop traffic window in virtual seconds "
+                        "(default 240)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker daemons draining the placement queue "
+                        "(default 4)")
+    p.add_argument("--queue-cap", type=int, default=64,
+                   help="bounded backlog size; 0 = unbounded, i.e. "
+                        "shedding off (default 64)")
+    p.add_argument("--backpressure", choices=BACKPRESSURE_MODES,
+                   default="shed",
+                   help="what a full backlog does to a new submit "
+                        "(default shed)")
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
+    p.add_argument("--work", type=float, default=10.0,
+                   help="work units per placed service instance "
+                        "(default 10)")
+    p.add_argument("--rate", type=float, default=0.0036,
+                   help="requests per user per hour (default 0.0036 — "
+                        "1 req/s at a million users)")
+    p.add_argument("--surge", type=float, default=12.0,
+                   help="overload surge rate multiplier through the "
+                        "middle fifth of the run (default 12)")
+    p.add_argument("--slo-threshold", type=float, default=30.0,
+                   help="e2e latency SLO threshold in virtual seconds "
+                        "(default 30)")
+    p.add_argument("--host-slots", type=int, default=8,
+                   help="reservation slots per host (default 8)")
+    p.add_argument("--compare-shedding", action="store_true",
+                   help="run the identical seeded overload with the "
+                        "bounded backlog on then off; exit nonzero "
+                        "unless shedding keeps p99 inside the SLO while "
+                        "the unbounded run exhausts its error budget")
+    p.add_argument("--allow-exhausted", action="store_true",
+                   help="exit 0 even when the e2e latency error budget "
+                        "is exhausted (single-run mode)")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the report/comparison JSON to FILE")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("bench", help="compare schedulers on one workload")
     _add_testbed_args(p)

@@ -91,6 +91,10 @@ class TestbedSpec:
     #: enable the computational-economy layer (market pricing, budgets,
     #: auctions — :meth:`~repro.metasystem.Metasystem.enable_economy`)
     economy: bool = False
+    #: start the live service tier (gateway + placement queue + worker
+    #: pool — :meth:`~repro.metasystem.Metasystem.start_service`); True
+    #: for defaults or a :class:`~repro.service.config.ServiceConfig`
+    service: object = None
 
     def __post_init__(self) -> None:
         if self.n_domains < 1 or self.hosts_per_domain < 1:
@@ -153,6 +157,11 @@ def build_testbed(spec: Optional[TestbedSpec] = None, **kwargs) -> Metasystem:
         meta.enable_economy()
     if spec.guardrails:
         meta.enable_guardrails()
+    if spec.service:
+        if spec.service is True:
+            meta.start_service()
+        else:
+            meta.start_service(config=spec.service)
     if spec.chaos_profile:
         meta.start_chaos(profile=spec.chaos_profile,
                          chaos_seed=spec.chaos_seed,
