@@ -40,6 +40,8 @@ __all__ = [
     "LatencySpike",
     "LoadSurge",
     "FederationShardOutage",
+    "WorkerCrash",
+    "WorkerRevive",
     "FAULT_CLASSES",
     "make_fault",
 ]
@@ -274,12 +276,63 @@ class FederationShardOutage(Fault):
             shard.forced_down = False
 
 
+def _worker_pool(meta: "Metasystem", target: str) -> Tuple[Any, int]:
+    suite = getattr(meta, "service", None)
+    if suite is None:
+        raise ChaosError(
+            f"no live service tier to crash {target!r} in "
+            f"(call start_service first)")
+    try:
+        idx = int(target.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        raise ChaosError(
+            f"worker target must be 'worker-N', got {target!r}") from None
+    if not 0 <= idx < suite.pool.size:
+        raise ChaosError(f"no worker {idx} in a pool of {suite.pool.size}")
+    return suite.pool, idx
+
+
+class WorkerCrash(Fault):
+    """Kill one service-tier placement worker mid-whatever-it-is-doing.
+
+    The worker's generator dies at its next resume point (no cleanup
+    runs — in particular its lease is never released, which is the whole
+    point: the Supervisor must detect the expiry and recover the orphan).
+    The pool is resolved **lazily** at apply/revert time, so the same
+    fault object keeps working across a checkpoint-restore that rebuilt
+    the pool.
+    """
+
+    kind = "worker_crash"
+    lock_group = "worker"
+
+    def _apply(self, meta: "Metasystem") -> None:
+        pool, idx = _worker_pool(meta, self.target)
+        pool.kill(idx)  # ChaosError if already dead
+
+    def _revert(self, meta: "Metasystem") -> None:
+        pool, idx = _worker_pool(meta, self.target)
+        pool.revive(idx)
+
+
+class WorkerRevive(Fault):
+    """One-shot repair: restart a killed worker (declarative plans)."""
+
+    kind = "worker_revive"
+    lock_group = "worker"
+    one_shot = True
+
+    def _apply(self, meta: "Metasystem") -> None:
+        pool, idx = _worker_pool(meta, self.target)
+        pool.revive(idx)  # ChaosError if alive
+
+
 #: registry used by plans to instantiate faults from serialized events
 FAULT_CLASSES: Dict[str, Type[Fault]] = {
     cls.kind: cls
     for cls in (HostCrash, HostRecover, DomainPartition, DomainHeal,
                 MessageLossSpike, LatencySpike, LoadSurge,
-                FederationShardOutage)
+                FederationShardOutage, WorkerCrash, WorkerRevive)
 }
 
 

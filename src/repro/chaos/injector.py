@@ -212,6 +212,10 @@ class ChaosInjector:
         for shard in self.meta.collection_shards:
             if shard.forced_down:
                 issues.append(f"shard forced down {shard.shard_id}")
+        service = getattr(self.meta, "service", None)
+        if service is not None:
+            for idx in service.pool.dead_workers:
+                issues.append(f"service worker dead worker-{idx}")
         return issues
 
     def _force_repair(self) -> int:
@@ -224,6 +228,11 @@ class ChaosInjector:
         for shard in self.meta.collection_shards:
             if shard.forced_down:
                 shard.forced_down = False
+                repairs += 1
+        service = getattr(self.meta, "service", None)
+        if service is not None:
+            for idx in service.pool.dead_workers:
+                service.pool.revive(idx)
                 repairs += 1
         return repairs
 

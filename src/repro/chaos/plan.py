@@ -183,6 +183,10 @@ def _targets_for(meta: "Metasystem", kind: str) -> List[str]:
         if meta.federation_config is None:
             return []
         return sorted(s.shard_id for s in meta.collection_shards)
+    if kind in ("worker_crash", "worker_revive"):
+        if meta.service is None:
+            return []
+        return [f"worker-{i}" for i in range(meta.service.pool.size)]
     raise ChaosError(f"unknown fault kind {kind!r}")
 
 

@@ -37,7 +37,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..errors import EnactmentError, MalformedScheduleError
+from ..errors import EnactmentError, MalformedScheduleError, NetworkError
 from ..hosts.reservations import (
     INSTANTANEOUS,
     ReservationToken,
@@ -88,6 +88,9 @@ class EnactorStats:
     #: entries skipped before issue because the health monitor classified
     #: the host SUSPECT/DOWN (guardrails load shedding)
     load_shed: int = 0
+    #: instances created by an RPC whose success ack was lost, found and
+    #: destroyed via their reservation token during rollback
+    unacked_reaps: int = 0
 
 
 @dataclass
@@ -119,6 +122,10 @@ class EnactResult:
     created: List[LOID] = field(default_factory=list)
     entry_results: Dict[int, CreateResult] = field(default_factory=dict)
     detail: str = ""
+    #: (class_obj, token) pairs whose create RPC died in transit — the
+    #: create may have executed without its ack arriving, so rollback
+    #: reaps by reservation token instead of by (unknown) LOID
+    suspect: List[Tuple[Any, Any]] = field(default_factory=list)
 
 
 class Enactor:
@@ -497,6 +504,17 @@ class Enactor:
                         except Exception:
                             pass
                 result.created = []
+            if rollback_on_failure and result.suspect:
+                # unacked creates: resolve each suspect token to the
+                # instances the Class actually started under it
+                reaped = 0
+                for class_obj, token in result.suspect:
+                    reaped += len(class_obj.reap_reserved(
+                        token, now=self.transport.sim.now))
+                if reaped:
+                    self.stats.unacked_reaps += reaped
+                    self.metrics.count(
+                        "enactor_unacked_creates_reaped_total", reaped)
         self.metrics.count("enactor_enactments_total",
                            ok=str(result.ok).lower())
         self.tracer.emit("enactor", "enacted", ok=result.ok,
@@ -539,6 +557,10 @@ class Enactor:
             except Exception as exc:
                 created = CreateResult(
                     False, reason=f"{type(exc).__name__}: {exc}")
+                if isinstance(exc, NetworkError):
+                    # the create may have executed with its ack lost —
+                    # remember the token so rollback can reap blind
+                    result.suspect.append((class_obj, holding.token))
             result.entry_results[idx] = created
             if created.ok and created.loid is not None:
                 result.created.extend(created.loids or [created.loid])

@@ -237,3 +237,13 @@ class ChaosError(LegionError):
     """A fault action could not be applied or reverted (e.g. crashing a
     host that is already down, or a shard outage on an unfederated
     metasystem)."""
+
+
+# ---------------------------------------------------------------------------
+# Recovery / checkpointing
+# ---------------------------------------------------------------------------
+
+class RecoveryError(LegionError):
+    """The recovery layer hit an invariant violation: a double lease
+    grant, a checkpoint captured at a non-quiescent point, or a restore
+    against a metasystem whose service tier is still running."""

@@ -194,6 +194,15 @@ class BreakerBoard:
     def total_opens(self) -> int:
         return sum(b.opens for b in self._breakers.values())
 
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Deterministic per-destination state for checkpoint audits."""
+        return {dst: {"state": b.state,
+                      "consecutive_failures": b.consecutive_failures,
+                      "opened_at": b.opened_at,
+                      "opens": b.opens,
+                      "fast_fails": b.fast_fails}
+                for dst, b in sorted(self._breakers.items())}
+
     def total_fast_fails(self) -> int:
         return sum(b.fast_fails for b in self._breakers.values())
 

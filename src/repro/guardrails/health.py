@@ -195,6 +195,14 @@ class HealthMonitor:
     def watched(self) -> int:
         return len(self._hosts)
 
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Deterministic per-host evidence for checkpoint audits."""
+        return {loid: {"state": record.state,
+                       "since": record.since,
+                       "last_seen": record.last_seen,
+                       "consecutive_failures": record.consecutive_failures}
+                for loid, record in sorted(self._hosts.items())}
+
     # -- daemon ------------------------------------------------------------
     def start(self) -> None:
         if self._started:

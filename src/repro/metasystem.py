@@ -831,7 +831,7 @@ class Metasystem:
         return policy
 
     def start_service(self, config: Any = None, app: Any = None,
-                      **kwargs) -> Any:
+                      recovery: Any = None, **kwargs) -> Any:
         """Start the live service tier (ROADMAP item 2): a typed
         :class:`~repro.service.gateway.RequestGateway` feeding a bounded
         :class:`~repro.service.queue.PlacementQueue` drained by a
@@ -845,6 +845,16 @@ class Metasystem:
         starting the service never perturbs the other seeded streams of
         an existing scenario.  Keyword overrides build a
         :class:`~repro.service.config.ServiceConfig`.
+
+        ``recovery`` (a :class:`~repro.recovery.RecoveryConfig`, or
+        ``True`` for defaults) arms the crash-recovery layer: a
+        write-ahead :class:`~repro.recovery.journal.RequestJournal`, a
+        TTL :class:`~repro.recovery.leases.LeaseTable` with per-worker
+        heartbeats, and a :class:`~repro.recovery.supervisor.Supervisor`
+        daemon that requeues orphans of crashed workers.  Recovery-mode
+        workers run their schedulers with ``viable_cache=False`` so a
+        checkpoint-restored scheduler (cold cache) behaves identically
+        to one that ran straight through.
         """
         from .service import (
             PlacementQueue,
@@ -860,28 +870,68 @@ class Metasystem:
         elif kwargs:
             raise ValueError("pass either config= or keyword overrides, "
                              "not both")
+        if recovery is True:
+            from .recovery import RecoveryConfig
+            recovery = RecoveryConfig()
         if app is None:
             from .workload.testbed import implementations_for_all_platforms
             app = self.create_class("service-app",
                                     implementations_for_all_platforms(),
                                     work_units=config.work)
+        journal = leases = supervisor = None
+        heartbeat_interval = 0.0
+        sched_kwargs = {}
+        if recovery is not None:
+            from .recovery import LeaseTable, RequestJournal
+            journal = RequestJournal(lambda: self.sim.now,
+                                     metrics=self.metrics)
+            leases = LeaseTable(recovery.lease_ttl, metrics=self.metrics)
+            heartbeat_interval = recovery.heartbeat_interval
+            sched_kwargs["viable_cache"] = False
         queue = PlacementQueue(config.queue_cap, config.backpressure,
                                metrics=self.metrics)
         gateway = RequestGateway(self.sim, queue, config,
                                  metrics=self.metrics, spans=self.spans,
-                                 hosts=self.hosts)
+                                 hosts=self.hosts, journal=journal)
         pool = WorkerPool(
             self.sim, queue, gateway, app, config,
             scheduler_factory=lambda i: self.make_scheduler(
                 config.scheduler,
                 rng=self.rngs.stream("service", "sched", str(i)),
-                name=f"svc-w{i}"),
+                name=f"svc-w{i}", **sched_kwargs),
             rng_factory=lambda i: self.rngs.stream("service", "retry",
                                                    str(i)),
-            metrics=self.metrics, spans=self.spans)
+            metrics=self.metrics, spans=self.spans,
+            leases=leases, journal=journal,
+            heartbeat_interval=heartbeat_interval)
         pool.start()
-        self.service = ServiceSuite(config, gateway, queue, pool, app)
+        if recovery is not None:
+            from .recovery import Supervisor
+            supervisor = Supervisor(self.sim, gateway, leases, journal,
+                                    app, recovery.scan_interval,
+                                    metrics=self.metrics,
+                                    spans=self.spans).start()
+        self.service = ServiceSuite(config, gateway, queue, pool, app,
+                                    recovery=recovery, journal=journal,
+                                    leases=leases, supervisor=supervisor)
         return self.service
+
+    def stop_service(self) -> Any:
+        """Tear the service tier down (checkpoint/restore's middle step).
+
+        Stops the supervisor, shuts the worker pool down (bumping every
+        worker generation so in-flight generators die at their next
+        resume), and detaches the suite from the metasystem so
+        :meth:`start_service` can build a fresh tier.  The world —
+        hosts, Collection, the app class and its placed instances —
+        keeps running.  Returns the detached suite.
+        """
+        suite, self.service = self.service, None
+        if suite is not None:
+            if suite.supervisor is not None:
+                suite.supervisor.stop()
+            suite.pool.shutdown()
+        return suite
 
     # ------------------------------------------------------------------
     # time control

@@ -100,6 +100,9 @@ class ClassObject(LegionObject):
         self._instance_factory = instance_factory
         self._default_placer = default_placer
         self.instances: Dict[LOID, LegionObject] = {}
+        #: token_id -> loids created under that reservation; lets the
+        #: Enactor reap creates whose success ack was lost in transit
+        self._creations_by_token: Dict[int, List[LOID]] = {}
         self.attributes.set("class_name", name)
         self.create_attempts = 0
         self.create_failures = 0
@@ -204,6 +207,7 @@ class ClassObject(LegionObject):
             return CreateResult(False, reason=started.reason)
 
         self.instances[loid] = instance
+        self._note_token(placement.reservation_token, [loid])
         return CreateResult(True, loid=loid,
                             host_loid=placement.host_loid,
                             vault_loid=placement.vault_loid,
@@ -255,6 +259,8 @@ class ClassObject(LegionObject):
             return CreateResult(False, reason=started.reason)
         for instance in instances:
             self.instances[instance.loid] = instance
+        self._note_token(placement.reservation_token,
+                         [i.loid for i in instances])
         return CreateResult(True, loid=instances[0].loid,
                             host_loid=placement.host_loid,
                             vault_loid=placement.vault_loid,
@@ -312,6 +318,28 @@ class ClassObject(LegionObject):
             raise MigrationError(
                 f"reactivation of {loid} failed: {started.reason}")
         return instance
+
+    def _note_token(self, token: Any, loids: List[LOID]) -> None:
+        if token is not None:
+            self._creations_by_token.setdefault(
+                token.token_id, []).extend(loids)
+
+    def reap_reserved(self, token: Any, now: float = 0.0) -> List[LOID]:
+        """Destroy every live instance created under ``token``.
+
+        The crash-safe half of the create protocol: when a
+        ``create_instance`` RPC executes but its success reply is lost,
+        the Enactor holds a reservation token for an instance it cannot
+        name.  The Class — "the final authority in matters pertaining to
+        its instances" — resolves the token to whatever it started under
+        it, so the rollback is exact even for unacknowledged creates.
+        """
+        reaped: List[LOID] = []
+        for loid in self._creations_by_token.pop(token.token_id, []):
+            if loid in self.instances:
+                self.destroy_instance(loid, now=now)
+                reaped.append(loid)
+        return reaped
 
     def destroy_instance(self, loid: LOID, now: float = 0.0) -> None:
         """Kill an instance and release its host slot."""

@@ -1,0 +1,51 @@
+"""RecoveryConfig: knobs for the service-tier recovery layer.
+
+The three timescales interlock: a worker heartbeats every
+``heartbeat_interval`` virtual seconds while it owns a request, each
+heartbeat extends the lease to ``now + lease_ttl``, and the Supervisor
+scans for expired leases every ``scan_interval``.  A crashed worker
+stops heartbeating, so its lease expires at most ``lease_ttl`` after
+the last beat and the orphan is detected at most ``scan_interval``
+later — worst-case orphan-recovery latency is
+``lease_ttl + scan_interval`` (the gameday report measures the actual
+distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecoveryConfig"]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Parameters of the journal/lease/supervisor recovery layer."""
+
+    #: lease lifetime: a worker's claim on a request expires this many
+    #: virtual seconds after the last heartbeat renewal
+    lease_ttl: float = 20.0
+    #: how often a live worker renews its lease
+    heartbeat_interval: float = 5.0
+    #: how often the Supervisor scans for expired leases (scans run on
+    #: an absolute time grid so restored supervisors stay in phase)
+    scan_interval: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_interval >= self.lease_ttl:
+            raise ValueError(
+                "heartbeat_interval must be shorter than lease_ttl "
+                "(a live worker must renew before its lease expires)")
+        if self.scan_interval <= 0:
+            raise ValueError("scan_interval must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "lease_ttl": self.lease_ttl,
+            "heartbeat_interval": self.heartbeat_interval,
+            "scan_interval": self.scan_interval,
+        }

@@ -1,0 +1,213 @@
+"""RequestJournal: write-ahead log of every request state transition.
+
+OAR (PAPERS.md) keeps the scheduler's entire state in a durable store so
+the scheduler process can be killed and restarted without losing work.
+The journal is this reproduction's equivalent: the gateway, queue, and
+workers record every transition *before* acting on it, and
+:func:`RequestJournal.replay` folds the entries back into the exact
+request registry and live queue content — byte-identical to a live
+snapshot (:meth:`RequestJournal.snapshot_state`), which is what the
+checkpoint/restore path and the replay tests pin.
+
+Event vocabulary (one entry per transition, in admission order):
+
+=================  ==========================================================
+``submit``         request minted (``user/count/priority/work``)
+``admission_rej``  front-door admission refused it (a ``finish`` follows)
+``enqueue``        admitted into the placement queue (live from here)
+``defer``          backlog full, re-offer scheduled (``defers`` = count so far)
+``claim``          a worker popped it (``worker`` = index)
+``attempt``        one ``Scheduler.run`` try (``attempt`` = 1-based number)
+``cancel_flag``    cancel arrived after claim; worker/supervisor honours it
+``expire``         the owning lease expired (worker crash detected)
+``requeue``        Supervisor re-enqueued the orphan (``requeues`` = count)
+``finish``         terminal state reached (``state/detail/created``)
+=================  ==========================================================
+
+Replay folds events into :class:`~repro.service.request.ServiceRequest`
+objects, so ``to_dict()`` equality against the live registry is exact.
+Queue *counters* (offered/shed/...) are deliberately not journalled —
+they are cumulative statistics, carried by the checkpoint, not state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import RecoveryError
+from ..service.request import CANCELLED, DEFERRED, PLACING, QUEUED, \
+    ServiceRequest
+
+__all__ = ["JournalEntry", "RequestJournal"]
+
+#: journal event names (kept short; they appear once per transition)
+EVENTS = ("submit", "admission_rej", "enqueue", "defer", "claim",
+          "attempt", "cancel_flag", "expire", "requeue", "finish")
+
+
+class JournalEntry:
+    """One logged transition."""
+
+    __slots__ = ("seq", "t", "event", "request_id", "data")
+
+    def __init__(self, seq: int, t: float, event: str, request_id: str,
+                 data: Dict[str, Any]):
+        self.seq = seq
+        self.t = t
+        self.event = event
+        self.request_id = request_id
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "t": self.t, "event": self.event,
+                "request_id": self.request_id, "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "JournalEntry":
+        return cls(int(doc["seq"]), float(doc["t"]), str(doc["event"]),
+                   str(doc["request_id"]), dict(doc["data"]))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<JournalEntry #{self.seq} t={self.t:.3f} "
+                f"{self.event} {self.request_id}>")
+
+
+class RequestJournal:
+    """Append-only write-ahead log for the service tier."""
+
+    def __init__(self, clock: Callable[[], float], metrics: Any = None):
+        self._clock = clock
+        self.metrics = metrics
+        self.entries: List[JournalEntry] = []
+        if metrics is not None:
+            metrics.gauge_fn("recovery_journal_entries",
+                             lambda: float(len(self.entries)),
+                             help="transitions recorded in the request "
+                                  "journal")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- write path ---------------------------------------------------------
+    def record(self, event: str, request_id: str,
+               **data: Any) -> JournalEntry:
+        """Append one transition (called *before* the transition acts)."""
+        if event not in EVENTS:
+            raise RecoveryError(f"unknown journal event {event!r}")
+        entry = JournalEntry(len(self.entries), self._clock(), event,
+                             request_id, data)
+        self.entries.append(entry)
+        if self.metrics is not None:
+            self.metrics.count("recovery_journal_records_total",
+                               event=event)
+        return entry
+
+    # -- serialization ------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [e.to_dict() for e in self.entries]
+
+    def load(self, docs: List[Dict[str, Any]]) -> None:
+        """Replace the log with deserialized entries (restore path)."""
+        self.entries = [JournalEntry.from_dict(d) for d in docs]
+
+    # -- replay -------------------------------------------------------------
+    @staticmethod
+    def replay(entries: List[JournalEntry]
+               ) -> Tuple[Dict[str, ServiceRequest],
+                          List[Tuple[int, str]], Dict[str, int]]:
+        """Fold the log into (requests, live queue entries, counters).
+
+        ``requests`` maps id → a reconstructed
+        :class:`~repro.service.request.ServiceRequest`; ``live`` lists
+        ``(priority, request_id)`` in queue pop order (higher priority
+        first, admission serial within a level — the replay serial
+        counts ``enqueue``/``requeue`` events, which is exactly the
+        order the live queue assigned its heap serials in); ``counters``
+        carries ``submitted`` and ``admission_rejections``.
+        """
+        requests: Dict[str, ServiceRequest] = {}
+        live: Dict[str, Tuple[int, int]] = {}  # rid -> (serial, priority)
+        serial = 0
+        submitted = 0
+        admission_rejections = 0
+        for e in entries:
+            if e.event == "submit":
+                submitted += 1
+                requests[e.request_id] = ServiceRequest(
+                    request_id=e.request_id, user=e.data["user"],
+                    count=e.data["count"], priority=e.data["priority"],
+                    work=e.data["work"], submitted_at=e.t)
+                continue
+            request = requests.get(e.request_id)
+            if request is None:
+                raise RecoveryError(
+                    f"journal entry #{e.seq} ({e.event}) references "
+                    f"unknown request {e.request_id!r}")
+            if e.event == "admission_rej":
+                admission_rejections += 1
+            elif e.event in ("enqueue", "requeue"):
+                request.state = QUEUED
+                request.enqueued_at = e.t
+                if e.event == "requeue":
+                    request.worker = None
+                    request.requeues = e.data["requeues"]
+                live[e.request_id] = (serial, request.priority)
+                serial += 1
+            elif e.event == "defer":
+                request.state = DEFERRED
+                request.defers = e.data["defers"]
+            elif e.event == "claim":
+                request.state = PLACING
+                request.started_at = e.t
+                request.worker = e.data["worker"]
+                live.pop(e.request_id, None)
+            elif e.event == "attempt":
+                request.attempts = e.data["attempt"]
+            elif e.event == "cancel_flag":
+                request.cancel_requested = True
+            elif e.event == "expire":
+                pass  # ownership change only; a requeue/finish follows
+            elif e.event == "finish":
+                request.state = e.data["state"]
+                request.finished_at = e.t
+                request.detail = e.data["detail"]
+                request.created = list(e.data["created"])
+                if e.data["state"] == CANCELLED:
+                    live.pop(e.request_id, None)
+        ordered = sorted(live.items(),
+                         key=lambda kv: (-kv[1][1], kv[1][0]))
+        live_entries = [(prio, rid) for rid, (_s, prio) in ordered]
+        return requests, live_entries, {
+            "submitted": submitted,
+            "admission_rejections": admission_rejections,
+        }
+
+    @staticmethod
+    def snapshot_state(gateway: Any, queue: Any) -> Dict[str, Any]:
+        """Canonical JSON view of the live gateway + queue state — the
+        thing :meth:`replay` must reconstruct byte-identically."""
+        return {
+            "requests": {rid: req.to_dict()
+                         for rid, req in sorted(gateway.requests.items())},
+            "queue_entries": [[prio, rid]
+                              for prio, rid in queue.snapshot_entries()],
+            "submitted": gateway.submitted,
+            "admission_rejections": gateway.admission.rejections,
+        }
+
+    @staticmethod
+    def replay_state(entries: List[JournalEntry]) -> Dict[str, Any]:
+        """Replay, in the same canonical shape as
+        :meth:`snapshot_state` (compare with ``json.dumps`` for the
+        byte-identity property)."""
+        requests, live, counters = RequestJournal.replay(entries)
+        return {
+            "requests": {rid: req.to_dict()
+                         for rid, req in sorted(requests.items())},
+            "queue_entries": [[prio, rid] for prio, rid in live],
+            "submitted": counters["submitted"],
+            "admission_rejections": counters["admission_rejections"],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RequestJournal entries={len(self.entries)}>"

@@ -1,0 +1,161 @@
+"""Supervisor: the daemon that turns worker crashes into recoveries.
+
+Scans the :class:`~repro.recovery.leases.LeaseTable` every
+``scan_interval`` virtual seconds (on an absolute time grid, so a
+restored Supervisor stays in phase with the one it replaces).  For each
+expired lease it:
+
+1. retires the lease and journals the ``expire`` transition;
+2. **reaps zombie effects** — if the dead worker had already enacted the
+   placement (the outcome was deposited on the lease), every created
+   instance is destroyed through the Class object, releasing its host
+   slot; this is what keeps the duplicate-placement count at zero
+   (reservations that never enacted were already rolled back by the
+   Scheduler's own failure path);
+3. **re-enqueues the orphan exactly once** per expiry through
+   :meth:`~repro.service.gateway.RequestGateway.requeue` — unless the
+   user cancelled it while it was stranded, in which case it finishes
+   CANCELLED;
+4. records a ``recovery.orphan`` span from lease expiry to requeue and
+   the orphan-recovery latency sample the gameday report aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..sim.kernel import grid_delay
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Expired-lease scanner + orphan recovery daemon."""
+
+    def __init__(self, sim: Any, gateway: Any, leases: Any, journal: Any,
+                 app: Any, scan_interval: float, metrics: Any = None,
+                 spans: Any = None):
+        if scan_interval <= 0:
+            raise ValueError("scan_interval must be positive")
+        self.sim = sim
+        self.gateway = gateway
+        self.leases = leases
+        self.journal = journal
+        self.app = app
+        self.scan_interval = float(scan_interval)
+        self.metrics = metrics
+        self.spans = spans
+        self.scans = 0
+        self.recovered = 0
+        self.cancelled_on_recovery = 0
+        self.duplicates_averted = 0
+        #: expiry→requeue latency samples (virtual seconds)
+        self.orphan_latencies: List[float] = []
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "Supervisor":
+        if self._started:
+            return self
+        self._started = True
+        self._stopped = False
+        self.sim.schedule(grid_delay(self.sim.now, self.scan_interval),
+                          self._tick)
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- the scan -----------------------------------------------------------
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        now = self.sim.now
+        self.scans += 1
+        # reap placements whose effects arrived after their lease had
+        # already been expired (Scheduler.run outlived the TTL)
+        while self.leases.late_effects:
+            self._reap(self.leases.late_effects.pop(0), now)
+        for lease in self.leases.expired(now):
+            self._recover(lease, now)
+        self.sim.schedule(grid_delay(now, self.scan_interval), self._tick)
+
+    def _recover(self, lease: Any, now: float) -> None:
+        self.leases.expire(lease, now)
+        if self.journal is not None:
+            self.journal.record("expire", lease.request_id,
+                                worker=lease.worker)
+        reaped = self._reap(lease, now)
+        request = self.gateway.requests.get(lease.request_id)
+        if request is None or request.terminal:  # pragma: no cover
+            return  # nothing left to recover (defensive)
+        if request.cancel_requested:
+            self.cancelled_on_recovery += 1
+            self.gateway.requeue(request)  # honours the flag: CANCELLED
+        else:
+            self.gateway.requeue(
+                request, reason=f"lease expired on worker {lease.worker}")
+            self.recovered += 1
+            latency = now - lease.expires_at
+            self.orphan_latencies.append(latency)
+            if self.metrics is not None:
+                self.metrics.count("recovery_orphans_recovered_total")
+                self.metrics.observe("recovery_orphan_latency_seconds",
+                                     latency)
+        if self.spans is not None:
+            self.spans.record_span(
+                "recovery.orphan", start=lease.expires_at, end=now,
+                request=lease.request_id, worker=lease.worker,
+                reaped=reaped,
+                outcome="cancelled" if request.cancel_requested
+                else "requeued")
+
+    def _reap(self, lease: Any, now: float) -> int:
+        """Destroy instances a dead worker enacted but never reported."""
+        if lease.effects is None:
+            return 0
+        reaped = 0
+        for loid in lease.effects.created:
+            if loid in self.app.instances:
+                self.app.destroy_instance(loid, now=now)
+                reaped += 1
+        lease.effects = None
+        if reaped:
+            self.duplicates_averted += reaped
+            if self.metrics is not None:
+                self.metrics.count("recovery_duplicates_averted_total",
+                                   reaped)
+        return reaped
+
+    # -- reporting / checkpoint ---------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        lat = self.orphan_latencies
+        return {
+            "scans": self.scans,
+            "recovered": self.recovered,
+            "cancelled_on_recovery": self.cancelled_on_recovery,
+            "duplicates_averted": self.duplicates_averted,
+            "orphan_latency_mean": (sum(lat) / len(lat)) if lat else 0.0,
+            "orphan_latency_max": max(lat) if lat else 0.0,
+        }
+
+    def counters(self) -> Dict[str, Any]:
+        return {
+            "scans": self.scans,
+            "recovered": self.recovered,
+            "cancelled_on_recovery": self.cancelled_on_recovery,
+            "duplicates_averted": self.duplicates_averted,
+            "orphan_latencies": list(self.orphan_latencies),
+        }
+
+    def restore_counters(self, doc: Dict[str, Any]) -> None:
+        self.scans = doc["scans"]
+        self.recovered = doc["recovered"]
+        self.cancelled_on_recovery = doc["cancelled_on_recovery"]
+        self.duplicates_averted = doc["duplicates_averted"]
+        self.orphan_latencies = list(doc["orphan_latencies"])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Supervisor recovered={self.recovered} "
+                f"averted={self.duplicates_averted} scans={self.scans}>")

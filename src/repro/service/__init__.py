@@ -85,16 +85,25 @@ class ServiceSuite:
     :meth:`~repro.metasystem.Metasystem.start_service` returns)."""
 
     def __init__(self, config: ServiceConfig, gateway: RequestGateway,
-                 queue: PlacementQueue, pool: WorkerPool, app):
+                 queue: PlacementQueue, pool: WorkerPool, app,
+                 recovery=None, journal=None, leases=None, supervisor=None):
         self.config = config
         self.gateway = gateway
         self.queue = queue
         self.pool = pool
         #: the Class object service requests place instances of
         self.app = app
+        #: recovery layer (``start_service(recovery=...)``); all None when
+        #: the tier runs without it
+        self.recovery = recovery
+        self.journal = journal
+        self.leases = leases
+        self.supervisor = supervisor
 
     def stop(self) -> None:
         """Stop the worker pool (queued requests stay queued)."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
         self.pool.stop()
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -53,7 +53,9 @@ class ServiceConfig:
     #: placement attempts per request before it fails (retry-on-transient)
     max_attempts: int = 3
     #: base backoff between placement attempts (virtual seconds; each
-    #: retry draws jitter in [1, 1.5) from the worker's seeded stream)
+    #: retry draws jitter in [0.5, 1.5) from the worker's own seeded
+    #: ``("service", "retry", i)`` RetryPolicy stream, so per-worker
+    #: retry traces stay deterministic under interleaving changes)
     retry_backoff: float = 5.0
 
     def __post_init__(self) -> None:

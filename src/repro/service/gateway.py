@@ -35,6 +35,7 @@ from .request import (
     DEFERRED,
     FAILED,
     PLACED,
+    PLACING,
     QUEUED,
     REJECTED,
     SHED,
@@ -87,7 +88,8 @@ class RequestGateway:
 
     def __init__(self, sim: Any, queue: PlacementQueue,
                  config: ServiceConfig, metrics: Any = None,
-                 spans: Any = None, hosts: Optional[List[Any]] = None):
+                 spans: Any = None, hosts: Optional[List[Any]] = None,
+                 journal: Any = None):
         self.sim = sim
         self.queue = queue
         self.config = config
@@ -97,6 +99,8 @@ class RequestGateway:
         self.admission = ServiceAdmission(config.load_limit, metrics)
         self.requests: Dict[str, ServiceRequest] = {}
         self.submitted = 0
+        #: optional write-ahead RequestJournal (recovery layer)
+        self.journal = journal
 
     # -- routes ---------------------------------------------------------------
     def submit(self, user: str, count: int = 1, priority: int = 0,
@@ -109,9 +113,14 @@ class RequestGateway:
             priority=priority, work=work, submitted_at=now)
         self.submitted += 1
         self.requests[request.request_id] = request
+        if self.journal is not None:
+            self.journal.record("submit", request.request_id, user=user,
+                                count=count, priority=priority, work=work)
         try:
             self.admission.check(self.hosts, now)
         except AdmissionRejected as exc:
+            if self.journal is not None:
+                self.journal.record("admission_rej", request.request_id)
             self.finish(request, REJECTED, detail=str(exc))
             return RouteResult("submit", False, request.request_id,
                                REJECTED, detail=str(exc))
@@ -129,22 +138,46 @@ class RequestGateway:
                            snapshot=request.to_dict())
 
     def cancel(self, request_id: str) -> RouteResult:
-        """Withdraw a request that has not started placing yet."""
+        """Withdraw a request that has not started placing yet.
+
+        A request a worker has already popped (the queue no longer holds
+        it, or its state is PLACING) is *not* finished here — doing so
+        would race the worker, which still believes it owns the request
+        and would place it anyway.  Instead ``cancel_requested`` is set
+        and the worker honours it at its next claim-time check (before
+        the first ``Scheduler.run`` and before every retry), finishing
+        the request CANCELLED itself.
+        """
         self._route("cancel")
         request = self.requests.get(request_id)
         if request is None:
             return RouteResult("cancel", False, request_id,
                                detail="unknown request")
         if request.state == QUEUED:
-            self.queue.cancel(request_id)
-            self.finish(request, CANCELLED, detail="cancelled while queued")
-            return RouteResult("cancel", True, request_id, CANCELLED)
+            if self.queue.cancel(request_id):
+                self.finish(request, CANCELLED,
+                            detail="cancelled while queued")
+                return RouteResult("cancel", True, request_id, CANCELLED)
+            # popped by a worker but not yet marked PLACING: flag it for
+            # the worker's claim-time check instead of racing it
+            return self._flag_cancel(request)
         if request.state == DEFERRED:
             self.finish(request, CANCELLED, detail="cancelled while deferred")
             return RouteResult("cancel", True, request_id, CANCELLED)
+        if request.state == PLACING:
+            return self._flag_cancel(request)
         return RouteResult(
             "cancel", False, request_id, request.state,
             detail=f"not cancellable in state {request.state!r}")
+
+    def _flag_cancel(self, request: ServiceRequest) -> RouteResult:
+        request.cancel_requested = True
+        if self.journal is not None:
+            self.journal.record("cancel_flag", request.request_id)
+        return RouteResult(
+            "cancel", True, request.request_id, request.state,
+            detail="cancel pending: claimed by a worker; honoured at its "
+                   "next claim-time check")
 
     def health(self) -> Dict[str, Any]:
         """Liveness snapshot: backlog, outcomes, admission, clock."""
@@ -167,10 +200,15 @@ class RequestGateway:
         if disposition == "enqueued":
             request.state = QUEUED
             request.enqueued_at = now
+            if self.journal is not None:
+                self.journal.record("enqueue", request.request_id)
             return RouteResult("submit", True, request.request_id, QUEUED)
         if disposition == "deferred":
             request.state = DEFERRED
             request.defers += 1
+            if self.journal is not None:
+                self.journal.record("defer", request.request_id,
+                                    defers=request.defers)
             self.sim.schedule(self.config.defer_delay,
                               lambda: self._reoffer(request))
             return RouteResult("submit", True, request.request_id, DEFERRED,
@@ -192,8 +230,13 @@ class RequestGateway:
         if disposition == "enqueued":
             request.state = QUEUED
             request.enqueued_at = self.sim.now
+            if self.journal is not None:
+                self.journal.record("enqueue", request.request_id)
         elif disposition == "deferred":
             request.defers += 1
+            if self.journal is not None:
+                self.journal.record("defer", request.request_id,
+                                    defers=request.defers)
             self.sim.schedule(self.config.defer_delay,
                               lambda: self._reoffer(request))
         else:  # shed (final) or rejected
@@ -211,6 +254,10 @@ class RequestGateway:
         request.finished_at = now
         if detail:
             request.detail = detail
+        if self.journal is not None:
+            self.journal.record("finish", request.request_id, state=state,
+                                detail=request.detail,
+                                created=list(request.created))
         if self.metrics is not None:
             self.metrics.count("service_request_outcomes_total",
                                outcome=state)
@@ -225,6 +272,28 @@ class RequestGateway:
                     request=request.request_id, user=request.user,
                     outcome=state, priority=request.priority,
                     worker=request.worker, attempts=request.attempts)
+
+    def requeue(self, request: ServiceRequest, reason: str = "") -> None:
+        """Put a recovered orphan back in the queue (Supervisor path).
+
+        Honours a pending cancel first — an orphan whose user cancelled
+        while it was stranded finishes CANCELLED instead of being placed
+        posthumously.  Otherwise the request re-enters the backlog via
+        the cap-bypassing :meth:`PlacementQueue.requeue` (an admitted
+        request is never shed on its way back from a crash).
+        """
+        if request.cancel_requested:
+            self.finish(request, CANCELLED,
+                        detail="cancelled during crash recovery")
+            return
+        request.requeues += 1
+        request.worker = None
+        self.queue.requeue(request)
+        request.state = QUEUED
+        request.enqueued_at = self.sim.now
+        if self.journal is not None:
+            self.journal.record("requeue", request.request_id,
+                                requeues=request.requeues, reason=reason)
 
     def _route(self, route: str) -> None:
         if self.metrics is not None:

@@ -111,6 +111,24 @@ class PlacementQueue:
             self.peak_depth = self._depth
         return ENQUEUED
 
+    def requeue(self, request: ServiceRequest) -> str:
+        """Force a recovered orphan back in, bypassing the cap.
+
+        Used only by the recovery Supervisor: a request that was already
+        admitted once must not be shed on its way back from a worker
+        crash ("no lost requests"), so the cap — an *admission* control —
+        does not apply.  Accounting stays exactly-once: the entry counts
+        as offered + enqueued again, matching the extra pop it will get.
+        """
+        self.offered += 1
+        heappush(self._heap, (-request.priority, next(self._seq), request))
+        self._depth += 1
+        self.enqueued += 1
+        if self._depth > self.peak_depth:
+            self.peak_depth = self._depth
+        self._count("requeued")
+        return ENQUEUED
+
     def pop(self) -> Optional[ServiceRequest]:
         """Highest-priority, oldest request — or None when drained."""
         while self._heap:
@@ -133,6 +151,41 @@ class PlacementQueue:
                 self.cancelled += 1
                 return True
         return False
+
+    def snapshot_entries(self) -> List[Tuple[int, str]]:
+        """Live ``(priority, request_id)`` entries in pop order (heap
+        order minus lazily-cancelled ids) — the canonical queue state
+        the journal replay reconstructs."""
+        return [(request.priority, request.request_id)
+                for _nprio, _seq, request in sorted(self._heap)
+                if request.request_id not in self._cancelled]
+
+    # -- checkpoint -----------------------------------------------------------
+    def counters(self) -> dict:
+        """Cumulative statistics + heap serial for checkpoint/restore."""
+        return {
+            "peak_depth": self.peak_depth,
+            "offered": self.offered,
+            "enqueued": self.enqueued,
+            "popped": self.popped,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "deferred": self.deferred,
+            "cancelled": self.cancelled,
+            "seq": self.enqueued,  # serials are only drawn on push
+        }
+
+    def restore_counters(self, doc: dict) -> None:
+        """Continue counting where a checkpointed queue left off."""
+        self.peak_depth = doc["peak_depth"]
+        self.offered = doc["offered"]
+        self.enqueued = doc["enqueued"]
+        self.popped = doc["popped"]
+        self.shed = doc["shed"]
+        self.rejected = doc["rejected"]
+        self.deferred = doc["deferred"]
+        self.cancelled = doc["cancelled"]
+        self._seq = itertools.count(doc["seq"])
 
     # -- metrics --------------------------------------------------------------
     def _count(self, disposition: str) -> None:

@@ -3,7 +3,8 @@
 The request's lifecycle is a small state machine::
 
     submit ──┬─► QUEUED ──► PLACING ──┬─► PLACED
-             │     │                  └─► FAILED
+             │     │          │       └─► FAILED
+             │     │          └─► (lease expired: worker crash) ─► QUEUED
              │     └─► CANCELLED
              ├─► DEFERRED ──► (re-offer) ──► QUEUED | SHED
              ├─► SHED          (backlog full, mode "shed")
@@ -13,6 +14,15 @@ The request's lifecycle is a small state machine::
 Shed/rejected/cancelled requests stay in the gateway's registry — they
 are *counted, not lost*: ``status`` answers for them forever, which is
 what the backpressure-correctness tests pin.
+
+With the recovery layer on, a PLACING request whose worker crashes is
+re-enqueued by the Supervisor when its lease expires (``requeues``
+counts the recoveries), so PLACING → QUEUED is a legal edge and every
+submitted request still terminates in exactly one terminal state.  A
+cancel that arrives after a worker has already popped the request sets
+``cancel_requested`` instead of finishing it; the worker (or the
+Supervisor, if the worker dies first) honours the flag at its next
+claim-time check and finishes the request CANCELLED.
 """
 
 from __future__ import annotations
@@ -45,7 +55,7 @@ class ServiceRequest:
     __slots__ = ("request_id", "user", "count", "priority", "work",
                  "state", "submitted_at", "enqueued_at", "started_at",
                  "finished_at", "worker", "attempts", "defers", "detail",
-                 "created")
+                 "created", "cancel_requested", "requeues")
 
     def __init__(self, request_id: str, user: str, count: int = 1,
                  priority: int = 0, work: Optional[float] = None,
@@ -65,6 +75,11 @@ class ServiceRequest:
         self.defers = 0
         self.detail = ""
         self.created: List[str] = []
+        #: a cancel arrived after a worker claimed it; honoured at the
+        #: next claim-time check instead of racing the placement
+        self.cancel_requested = False
+        #: times the Supervisor re-enqueued it after a lease expiry
+        self.requeues = 0
 
     @property
     def terminal(self) -> bool:
@@ -93,6 +108,8 @@ class ServiceRequest:
             "defers": self.defers,
             "detail": self.detail,
             "created": list(self.created),
+            "cancel_requested": self.cancel_requested,
+            "requeues": self.requeues,
         }
 
     def __repr__(self) -> str:  # pragma: no cover

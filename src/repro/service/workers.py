@@ -2,18 +2,40 @@
 
 Each worker is a generator process on the sim kernel.  Its loop:
 
-1. pop the highest-priority request (idle-poll every ``poll_interval``
-   virtual seconds when the backlog is empty),
-2. drive :meth:`~repro.scheduler.base.Scheduler.run` for it — each
+1. pop the highest-priority request (idle-polling on an *absolute*
+   ``poll_interval`` time grid when the backlog is empty, so a worker
+   recreated mid-run — checkpoint/restore, chaos revival — falls back
+   into exactly the poll schedule its predecessor kept; each worker's
+   grid is phase-staggered by index so no two workers wake at the same
+   instant and claim order never depends on event-heap history),
+2. honour a pending cancel at claim time (a request cancelled after the
+   pop but before ``Scheduler.run`` starts finishes CANCELLED instead of
+   being placed anyway),
+3. claim the request under a TTL lease (recovery layer on) renewed by a
+   heartbeat callback every ``heartbeat_interval`` virtual seconds,
+4. drive :meth:`~repro.scheduler.base.Scheduler.run` for it — each
    worker owns its *own* scheduler instance built from a dedicated
    ``("service", "sched", i)`` RNG stream, so concurrent workers stay
    deterministic,
-3. on a transient miss, retry up to ``max_attempts`` times with seeded
-   jittered backoff (``retry_backoff × U[1, 1.5)`` from the
-   ``("service", "retry", i)`` stream),
-4. report the terminal outcome through
+5. on a transient miss, retry up to ``max_attempts`` times with backoff
+   from a per-worker :class:`~repro.chaos.retry.RetryPolicy` seeded by
+   the ``("service", "retry", i)`` stream (delay
+   ``retry_backoff × U[0.5, 1.5)``) — per-worker streams keep each
+   worker's retry trace deterministic under interleaving changes,
+6. report the terminal outcome through
    :meth:`~repro.service.gateway.RequestGateway.finish` and record a
    per-worker ``service.worker`` span.
+
+**Crash protocol** (driven by the ``worker_crash`` chaos fault): the
+kernel cannot interrupt a generator that is mid-``Scheduler.run`` on the
+Python stack, so :meth:`WorkerPool.kill` sets a dead flag the worker
+checks at every resume point.  A dead worker *abandons* its request
+without finishing it — if the placement had already enacted, the
+:class:`SchedulingOutcome` is deposited on the lease so the Supervisor
+can destroy the zombie instances (no duplicate placements) — and the
+orphaned request is recovered through lease expiry.
+:meth:`WorkerPool.revive` starts a fresh generator under a bumped
+generation number; stale resumes of the old generator exit silently.
 
 ``Scheduler.run`` advances virtual time internally (Transport invokes
 are reentrant ``run_until`` calls, which the kernel explicitly
@@ -25,12 +47,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from ..errors import LegionError
+from ..chaos.retry import RetryPolicy
+from ..errors import ChaosError, LegionError
 from ..scheduler.base import ObjectClassRequest
+from ..sim.kernel import grid_delay
 from .config import ServiceConfig
 from .gateway import RequestGateway
 from .queue import PlacementQueue
-from .request import FAILED, PLACED, PLACING
+from .request import CANCELLED, FAILED, PLACED, PLACING
 
 __all__ = ["WorkerPool"]
 
@@ -42,7 +66,9 @@ class WorkerPool:
                  gateway: RequestGateway, app: Any, config: ServiceConfig,
                  scheduler_factory: Callable[[int], Any],
                  rng_factory: Callable[[int], Any],
-                 metrics: Any = None, spans: Any = None):
+                 metrics: Any = None, spans: Any = None,
+                 leases: Any = None, journal: Any = None,
+                 heartbeat_interval: float = 0.0):
         self.sim = sim
         self.queue = queue
         self.gateway = gateway
@@ -53,13 +79,43 @@ class WorkerPool:
         self.size = config.workers
         self.schedulers = [scheduler_factory(i) for i in range(self.size)]
         self._retry_rngs = [rng_factory(i) for i in range(self.size)]
+        #: per-worker seeded backoff policies (multiplier 1: the service
+        #: retries on a fixed jittered backoff, not an exponential one)
+        self.retry_policies = [
+            RetryPolicy(max_attempts=config.max_attempts,
+                        base_delay=config.retry_backoff,
+                        multiplier=1.0, max_delay=config.retry_backoff,
+                        jitter=0.5, rng=self._retry_rngs[i])
+            for i in range(self.size)]
+        #: per-worker idle-poll phases: worker ``i`` wakes on the grid
+        #: ``k*poll_interval + (i+1)*poll_interval/(size+1)``, so no two
+        #: workers (and no daemon on the unshifted integer grid —
+        #: Supervisor, checkpoint probe) ever wake at the same instant.
+        #: Which idle worker claims a queued request is then a function
+        #: of absolute time alone, independent of event-heap insertion
+        #: order — without this, a restored pool (daemons recreated in
+        #: index order) can resolve same-instant wake ties differently
+        #: from the pool it replaced and break restore byte-identity.
+        self._poll_phase = [
+            (i + 1) * config.poll_interval / (self.size + 1)
+            for i in range(self.size)]
+        #: recovery wiring (None without the recovery layer)
+        self.leases = leases
+        self.journal = journal
+        self.heartbeat_interval = float(heartbeat_interval)
         self._stopped = False
         self._busy_now = 0
         self._busy_time: List[float] = [0.0] * self.size
+        self._dead: List[bool] = [False] * self.size
+        self._generation: List[int] = [0] * self.size
+        self._idle: List[bool] = [False] * self.size
         self.handled: List[int] = [0] * self.size
         self.placed = 0
         self.failed = 0
         self.retries = 0
+        self.kills = 0
+        self.revivals = 0
+        self.abandons = 0
         self._started_at: Optional[float] = None
         self._processes: List[Any] = []
         if metrics is not None:
@@ -76,15 +132,65 @@ class WorkerPool:
         """Launch one daemon process per worker (idempotent)."""
         if self._processes:
             return
-        self._started_at = self.sim.now
+        if self._started_at is None:
+            self._started_at = self.sim.now
         self._stopped = False
         for i in range(self.size):
             self._processes.append(
-                self.sim.process(self._worker(i), name=f"service-worker-{i}"))
+                self.sim.process(self._worker(i, self._generation[i]),
+                                 name=f"service-worker-{i}"))
 
     def stop(self) -> None:
         """Ask every worker to exit after its current request."""
         self._stopped = True
+
+    def shutdown(self) -> None:
+        """Tear the pool down for checkpoint/restore: stop, and bump
+        every generation so stale pending resumes exit without touching
+        the queue a successor pool now owns."""
+        self._stopped = True
+        for i in range(self.size):
+            self._generation[i] += 1
+
+    # -- crash / revive (the worker_crash chaos fault) ------------------------
+    def kill(self, idx: int) -> None:
+        """Crash worker ``idx``: it abandons its current request at the
+        next resume point and its lease is left to expire."""
+        if not 0 <= idx < self.size:
+            raise ChaosError(f"no worker {idx} (pool size {self.size})")
+        if self._dead[idx]:
+            raise ChaosError(f"worker {idx} is already dead")
+        self._dead[idx] = True
+        self._idle[idx] = False
+        self.kills += 1
+        if self.metrics is not None:
+            self.metrics.count("recovery_worker_kills_total")
+
+    def revive(self, idx: int) -> None:
+        """Bring worker ``idx`` back as a fresh generator process."""
+        if not 0 <= idx < self.size:
+            raise ChaosError(f"no worker {idx} (pool size {self.size})")
+        if not self._dead[idx]:
+            raise ChaosError(f"worker {idx} is already up")
+        self._dead[idx] = False
+        self._generation[idx] += 1
+        self.revivals += 1
+        generation = self._generation[idx]
+        self._processes.append(
+            self.sim.process(self._worker(idx, generation),
+                             name=f"service-worker-{idx}g{generation}"))
+
+    @property
+    def dead_workers(self) -> List[int]:
+        return [i for i in range(self.size) if self._dead[i]]
+
+    @property
+    def quiescent(self) -> bool:
+        """True when every worker is alive and idle-polling on the grid
+        — the only state a checkpoint may be captured in (a restored
+        pool restarts its daemons in exactly this state)."""
+        return (self._busy_now == 0 and not any(self._dead)
+                and all(self._idle))
 
     @property
     def busy_fraction(self) -> float:
@@ -102,49 +208,128 @@ class WorkerPool:
             "placed": self.placed,
             "failed": self.failed,
             "retries": self.retries,
+            "kills": self.kills,
+            "revivals": self.revivals,
+            "abandons": self.abandons,
             "busy_fraction": self.busy_fraction,
         }
 
+    # -- checkpoint -----------------------------------------------------------
+    def counters(self) -> Dict[str, Any]:
+        return {
+            "handled": list(self.handled),
+            "placed": self.placed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "kills": self.kills,
+            "revivals": self.revivals,
+            "abandons": self.abandons,
+            "busy_time": list(self._busy_time),
+            "started_at": self._started_at,
+            "generation": list(self._generation),
+        }
+
+    def restore_counters(self, doc: Dict[str, Any]) -> None:
+        self.handled = list(doc["handled"])
+        self.placed = doc["placed"]
+        self.failed = doc["failed"]
+        self.retries = doc["retries"]
+        self.kills = doc["kills"]
+        self.revivals = doc["revivals"]
+        self.abandons = doc["abandons"]
+        self._busy_time = list(doc["busy_time"])
+        self._started_at = doc["started_at"]
+
     # -- the daemon -----------------------------------------------------------
-    def _worker(self, idx: int):
+    def _worker(self, idx: int, generation: int):
         cfg = self.config
         scheduler = self.schedulers[idx]
-        rng = self._retry_rngs[idx]
-        while not self._stopped:
+        policy = self.retry_policies[idx]
+        sim = self.sim
+        while True:
+            if (self._stopped or self._dead[idx]
+                    or self._generation[idx] != generation):
+                return
             request = self.queue.pop()
             if request is None:
-                yield self.sim.timeout(cfg.poll_interval)
+                self._idle[idx] = True
+                yield sim.timeout(grid_delay(sim.now, cfg.poll_interval,
+                                             phase=self._poll_phase[idx]))
                 continue
-            started = self.sim.now
+            self._idle[idx] = False
+            if request.cancel_requested:
+                # claim-time cancel check: the request was cancelled
+                # between enqueue and this pop — honour it instead of
+                # placing it anyway
+                self.gateway.finish(request, CANCELLED,
+                                    detail="cancelled at claim")
+                continue
+            started = sim.now
             self._busy_now += 1
             self.handled[idx] += 1
             request.state = PLACING
             request.started_at = started
             request.worker = idx
+            if self.journal is not None:
+                self.journal.record("claim", request.request_id, worker=idx)
+            lease = None
+            if self.leases is not None:
+                lease = self.leases.grant(request.request_id, idx, started)
+                self._schedule_heartbeat(lease, idx, generation)
             ok = False
+            cancelled = False
             detail = ""
             for attempt in range(1, cfg.max_attempts + 1):
+                if request.cancel_requested:
+                    cancelled = True
+                    break
                 request.attempts = attempt
+                if self.journal is not None:
+                    self.journal.record("attempt", request.request_id,
+                                        attempt=attempt)
+                outcome = None
                 try:
                     outcome = scheduler.run(
                         [ObjectClassRequest(self.app, count=request.count)],
                         reservation_duration=cfg.reservation_duration)
                     ok = outcome.ok
                     detail = outcome.detail
-                    if ok:
-                        request.created = list(outcome.created)
                 except LegionError as exc:
                     ok = False
                     detail = str(exc)
-                if ok or attempt >= cfg.max_attempts:
+                if (self._dead[idx]
+                        or self._generation[idx] != generation):
+                    # killed mid-placement: deposit enacted effects on
+                    # the lease for the Supervisor's reaper, then die
+                    # without reporting — the lease expiry recovers the
+                    # orphan
+                    if lease is not None and outcome is not None \
+                            and outcome.ok:
+                        self.leases.deposit_effects(lease, outcome)
+                    self._abandon(idx, started)
+                    return
+                if ok:
+                    # stringified: request records are serialized (journal,
+                    # checkpoint); the raw LOIDs stay on the outcome
+                    request.created = [str(l) for l in outcome.created]
+                    break
+                if attempt >= cfg.max_attempts:
                     break
                 self.retries += 1
                 if self.metrics is not None:
                     self.metrics.count("service_retries_total")
-                jitter = 1.0 + 0.5 * float(rng.random())
-                yield self.sim.timeout(cfg.retry_backoff * jitter)
-            now = self.sim.now
-            if ok:
+                yield sim.timeout(policy.backoff(attempt))
+                if (self._dead[idx]
+                        or self._generation[idx] != generation):
+                    self._abandon(idx, started)
+                    return
+            now = sim.now
+            if lease is not None:
+                self.leases.release(lease, now)
+            if cancelled:
+                self.gateway.finish(request, CANCELLED,
+                                    detail="cancelled before retry")
+            elif ok:
                 self.placed += 1
                 self.gateway.finish(request, PLACED)
             else:
@@ -158,8 +343,38 @@ class WorkerPool:
             self._busy_time[idx] += now - started
             self._busy_now -= 1
             if cfg.dispatch_overhead > 0:
-                yield self.sim.timeout(cfg.dispatch_overhead)
+                yield sim.timeout(cfg.dispatch_overhead)
+
+    def _abandon(self, idx: int, started: float) -> None:
+        """Bookkeeping for a worker dying with a request in hand."""
+        now = self.sim.now
+        self._busy_time[idx] += now - started
+        self._busy_now -= 1
+        self.abandons += 1
+        if self.metrics is not None:
+            self.metrics.count("recovery_worker_abandons_total")
+
+    def _schedule_heartbeat(self, lease: Any, idx: int,
+                            generation: int) -> None:
+        """Renew ``lease`` every ``heartbeat_interval`` while the worker
+        lives and still owns the request; a dead worker's beats stop, so
+        the lease runs out its TTL and the Supervisor takes over."""
+        interval = self.heartbeat_interval
+        if interval <= 0 or self.leases is None:
+            return
+
+        def beat() -> None:
+            if (self._stopped or self._dead[idx]
+                    or self._generation[idx] != generation):
+                return
+            if not self.leases.is_active(lease):
+                return
+            self.leases.renew(lease, self.sim.now)
+            self.sim.schedule(interval, beat)
+
+        self.sim.schedule(interval, beat)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<WorkerPool size={self.size} busy={self._busy_now} "
-                f"placed={self.placed} failed={self.failed}>")
+                f"placed={self.placed} failed={self.failed} "
+                f"dead={self.dead_workers}>")

@@ -35,6 +35,9 @@ module provides their simulated analogues over a reproducible testbed:
    $ legion-sim serve --users 1000000 --duration 240 --workers 4
    $ legion-sim serve --queue-cap 0 --allow-exhausted
    $ legion-sim serve --compare-shedding --out BENCH_service.json
+   $ legion-sim gameday --seed 7 --kills 2
+   $ legion-sim gameday --checkpoint-at 180 --lease-ttl 20
+   $ legion-sim gameday --compare-restore --out BENCH_gameday.json
 
 ``repro-cli`` is an alias of the same entry point.
 
@@ -743,6 +746,71 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         return 2
 
 
+def cmd_gameday(args: argparse.Namespace, out) -> int:
+    """Run a recovery game day: chaos kills workers/hosts/links under
+    live service traffic while the journal/lease/Supervisor machinery
+    keeps every request owned, and the report grades ground truth —
+    lost requests and duplicate placements must both be zero, with at
+    least one orphan actually recovered.
+
+    With ``--compare-restore`` (the headline mode) the identical seeded
+    game day runs twice — straight through, then torn down mid-run and
+    restored from a checkpoint — and the exit status is nonzero unless
+    both runs pass *and* their report cores match byte for byte, which
+    is what the ``gameday-smoke`` CI job gates on.
+    """
+    from ..recovery import run_gameday, run_gameday_comparison
+    kwargs = dict(seed=args.seed, users=args.users, duration=args.duration,
+                  workers=args.workers, queue_cap=args.queue_cap,
+                  backpressure=args.backpressure, scheduler=args.scheduler,
+                  work=args.work, requests_per_user_hour=args.rate,
+                  surge_multiplier=args.surge, kills=args.kills,
+                  lease_ttl=args.lease_ttl,
+                  heartbeat_interval=args.heartbeat_interval,
+                  scan_interval=args.scan_interval,
+                  n_domains=args.domains, hosts_per_domain=args.hosts,
+                  platform_mix=args.platforms, host_slots=args.host_slots,
+                  background_load=args.load)
+    try:
+        if args.compare_restore:
+            cmp = run_gameday_comparison(
+                checkpoint_at=args.checkpoint_at or None, **kwargs)
+            print(cmp.summary(), file=out)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(cmp.to_json() + "\n")
+                print(f"wrote gameday comparison to {args.out}", file=out)
+            if not cmp.passed:
+                problems = []
+                for tag, rep in (("straight", cmp.straight),
+                                 ("restored", cmp.restored)):
+                    if rep.lost:
+                        problems.append(f"{tag}: {rep.lost} request(s) lost")
+                    if rep.duplicates:
+                        problems.append(f"{tag}: {rep.duplicates} duplicate "
+                                        f"placement(s)")
+                    if not rep.recovered:
+                        problems.append(f"{tag}: no orphan recovered")
+                if not cmp.byte_identical:
+                    problems.append("restored run diverged from the "
+                                    "uninterrupted run")
+                for problem in problems or ["gameday gate failed"]:
+                    print(f"ERROR: {problem}", file=out)
+                return 1
+            return 0
+        report = run_gameday(checkpoint_at=args.checkpoint_at or None,
+                             **kwargs)
+        print(report.summary(), file=out)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json() + "\n")
+            print(f"wrote GamedayReport to {args.out}", file=out)
+        return 0 if report.passed else 1
+    except (LegionError, ValueError) as exc:
+        print(f"gameday error: {exc}", file=out)
+        return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="legion-sim",
@@ -1085,6 +1153,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="", metavar="FILE",
                    help="write the report/comparison JSON to FILE")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("gameday",
+                       help="run a recovery game day: chaos kills "
+                            "workers under live service traffic; gates "
+                            "on zero lost requests, zero duplicate "
+                            "placements, and byte-identical "
+                            "checkpoint/restore")
+    _add_testbed_args(p)
+    # the game day runs on the serve campaign's stock world
+    p.set_defaults(domains=3, hosts=6, platforms=3, load=0.3)
+    p.add_argument("--users", type=int, default=1_000_000,
+                   help="traffic population size (default 1000000)")
+    p.add_argument("--duration", type=float, default=240.0,
+                   help="open-loop traffic window in virtual seconds "
+                        "(default 240)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker daemons draining the placement queue "
+                        "(default 4)")
+    p.add_argument("--queue-cap", type=int, default=64,
+                   help="bounded backlog size; 0 = unbounded "
+                        "(default 64)")
+    p.add_argument("--backpressure", choices=BACKPRESSURE_MODES,
+                   default="shed",
+                   help="what a full backlog does to a new submit "
+                        "(default shed)")
+    p.add_argument("--scheduler", default="irs",
+                   help="random | irs | load | mct | round-robin | kofn | cost | economy")
+    p.add_argument("--work", type=float, default=10.0,
+                   help="work units per placed service instance "
+                        "(default 10)")
+    p.add_argument("--rate", type=float, default=0.0036,
+                   help="requests per user per hour (default 0.0036)")
+    p.add_argument("--surge", type=float, default=12.0,
+                   help="overload surge rate multiplier (default 12)")
+    p.add_argument("--kills", type=int, default=2,
+                   help="worker crashes injected inside the surge "
+                        "(default 2; the pass gate requires >= 2)")
+    p.add_argument("--lease-ttl", type=float, default=20.0,
+                   help="request-ownership lease TTL in virtual "
+                        "seconds (default 20)")
+    p.add_argument("--heartbeat-interval", type=float, default=5.0,
+                   help="worker lease-renewal period (default 5)")
+    p.add_argument("--scan-interval", type=float, default=5.0,
+                   help="Supervisor expired-lease scan period "
+                        "(default 5)")
+    p.add_argument("--checkpoint-at", type=float, default=0.0,
+                   help="from this virtual time on, poll for a safe "
+                        "point, then checkpoint/teardown/restore the "
+                        "tier mid-run (default 0 = off)")
+    p.add_argument("--host-slots", type=int, default=8,
+                   help="reservation slots per host (default 8)")
+    p.add_argument("--compare-restore", action="store_true",
+                   help="run the identical seeded game day straight "
+                        "through and with a mid-run checkpoint/restore; "
+                        "exit nonzero unless both pass and their report "
+                        "cores are byte-identical")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the report/comparison JSON to FILE")
+    p.set_defaults(fn=cmd_gameday)
 
     p = sub.add_parser("bench", help="compare schedulers on one workload")
     _add_testbed_args(p)

@@ -354,7 +354,7 @@ class TestServeCLI:
             "serve", "--seed", "11", "--users", "2000", "--duration",
             "30", "--workers", "2", "--queue-cap", "8", "--rate", "3.6",
             "--surge", "8", "--domains", "1", "--hosts", "4",
-            "--platforms", "2")
+            "--platforms", "2", "--slo-threshold", "60")
         assert code == 0
         assert "service campaign:" in text
         assert "outcomes:" in text
@@ -365,7 +365,8 @@ class TestServeCLI:
             "serve", "--seed", "11", "--users", "2000", "--duration",
             "30", "--workers", "2", "--queue-cap", "8", "--rate", "3.6",
             "--surge", "8", "--domains", "1", "--hosts", "4",
-            "--platforms", "2", "--out", str(out_file))
+            "--platforms", "2", "--slo-threshold", "60",
+            "--out", str(out_file))
         assert code == 0
         assert out_file.exists()
         assert '"p99_within_slo"' in out_file.read_text()
